@@ -1,0 +1,98 @@
+"""Section VI-C — the DNS poisoning attack against Chronos.
+
+Reproduces both the analytic bound (89 addresses per response, success iff
+the poisoning lands before the 12th of the 24 hourly lookups) and the
+simulated end-to-end attack, including the comparison the paper draws: the
+attacker gets 12 chances against Chronos versus a single boot-time lookup
+against plain NTP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chronos_attack import (
+    ChronosAttack,
+    attack_windows,
+    max_addresses_in_response,
+    max_honest_lookups_tolerated,
+)
+from repro.measurement.report import format_table
+from repro.ntp.chronos.client import ChronosConfig
+from repro.ntp.chronos.pool_generation import PoolGenerationConfig
+from repro.testbed import TestbedConfig, build_testbed
+
+
+def run_sweep():
+    outcomes = []
+    for poison_after in (2, 6, 10, 16, 20):
+        testbed = build_testbed(TestbedConfig(pool_size=160, seed=300 + poison_after))
+        victim = testbed.add_chronos_client(
+            config=ChronosConfig(
+                pool_generation=PoolGenerationConfig(lookup_interval=300.0, total_lookups=24),
+                servers_per_round=11,
+                poll_interval=150.0,
+            )
+        )
+        attack = ChronosAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            victim=victim,
+        )
+        outcomes.append(attack.run(poison_after_lookups=poison_after, observe_rounds=3))
+    return outcomes
+
+
+def test_chronos_analytic_bounds(run_once):
+    def compute():
+        return (
+            max_addresses_in_response(),
+            max_honest_lookups_tolerated(),
+            attack_windows(),
+        )
+
+    addresses, lookups, windows = run_once(compute)
+    print(f"\nmax addresses per response: {addresses} (paper: 89), "
+          f"max honest lookups tolerated: {lookups} (paper: 11), "
+          f"attack windows in 24 h: {windows} (paper: 12)")
+    assert addresses == 89
+    assert lookups == 11
+    assert windows == 12
+
+
+def test_chronos_attack_sweep(run_once):
+    outcomes = run_once(run_sweep)
+    print()
+    print(
+        format_table(
+            ["Poison after N lookups", "Honest in pool", "Attacker in pool",
+             "Attacker share", "> 2/3", "Clock shift (s)", "Success"],
+            [
+                [
+                    o.poisoning_lookup_index,
+                    o.honest_addresses_in_pool,
+                    o.attacker_addresses_in_pool,
+                    f"{o.attacker_fraction * 100:.1f}%",
+                    o.attacker_controls_pool,
+                    f"{o.clock_shift_achieved:+.1f}",
+                    o.success,
+                ]
+                for o in outcomes
+            ],
+            title="Section VI-C — Chronos pool poisoning sweep (89 injected addresses)",
+        )
+    )
+    by_n = {o.poisoning_lookup_index: o for o in outcomes}
+    # Early poisonings (within the paper's 12-lookup window) fully succeed.
+    for n in (2, 6, 10):
+        assert by_n[n].attacker_controls_pool
+        assert by_n[n].success
+        assert by_n[n].clock_shift_achieved == pytest.approx(-500.0, abs=5.0)
+        assert by_n[n].pool_generation_ended_early
+    # Late poisonings no longer give guaranteed (2/3) control.
+    for n in (16, 20):
+        assert not by_n[n].attacker_controls_pool
+    # Attacker control decreases monotonically with later poisoning.
+    fractions = [by_n[n].attacker_fraction for n in (2, 6, 10, 16, 20)]
+    assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,139 @@
+"""Section III / IV-A — mechanics and ablations of the poisoning primitive.
+
+Regenerates the quantitative statements about the cache-poisoning building
+blocks and runs the design-choice ablations called out in DESIGN.md:
+
+* the end-to-end boot-time poisoning with the checksum fix in place,
+* the same attack *without* checksum fixing (fails: the resolver's UDP layer
+  rejects the reassembled datagram),
+* the same attack against an unpredictable (randomly rotating) response tail
+  (fails probabilistically for the same reason),
+* the attack against a fragment-filtering resolver (fails: nothing to
+  reassemble), and
+* the low-volume property: at most ``ceil(150 / 30) = 5`` planted fragments
+  per TTL window of the pool record.
+"""
+
+from __future__ import annotations
+
+from repro.core.fragment_attack import DNSFragmentPoisoner, PoisoningPlan
+from repro.dns.stub import StubResolver
+from repro.measurement.report import format_table
+from repro.testbed import NAMESERVER_IP, TestbedConfig, build_testbed
+
+
+def run_attempt(
+    seed: int,
+    rotation: str = "fixed",
+    drop_fragments: bool = False,
+    disable_checksum_fix: bool = False,
+    trigger_at: float = 10.0,
+) -> dict:
+    testbed = build_testbed(
+        TestbedConfig(
+            pool_size=24,
+            seed=seed,
+            pool_rotation=rotation,
+            resolver_drops_fragments=drop_fragments,
+        )
+    )
+    plan = PoisoningPlan(
+        resolver_ip=testbed.resolver.ip,
+        nameserver_ip=NAMESERVER_IP,
+        malicious_addresses=testbed.attacker.redirect_addresses(4),
+        target_mtu=68,
+        max_duration=200.0,
+    )
+    poisoner = DNSFragmentPoisoner(
+        testbed.attacker,
+        testbed.simulator,
+        plan,
+        success_check=lambda: testbed.resolver_poisoned("pool.ntp.org"),
+    )
+    if disable_checksum_fix:
+        # Ablation: skip the checksum-fixing step entirely.
+        original_build = poisoner.build_spoofed_payload
+
+        def without_fix():
+            crafted = original_build()
+            if crafted is None:
+                return None
+            payload, offset = crafted
+            template_f2 = (b"\x00" * 8 + poisoner.template_payload)[
+                poisoner.first_fragment_payload_length():
+            ]
+            desired, _ = poisoner._rewrite_records(poisoner.template_payload)
+            raw_f2 = (b"\x00" * 8 + desired)[poisoner.first_fragment_payload_length():]
+            return (raw_f2, offset) if raw_f2 != template_f2 else (payload, offset)
+
+        poisoner.build_spoofed_payload = without_fix
+
+    poisoner.start()
+    testbed.run_for(trigger_at)
+    bystander = testbed.network.add_host("bystander", "192.0.2.77")
+    StubResolver(bystander, testbed.simulator, testbed.resolver.ip).resolve(
+        "pool.ntp.org", lambda result: None
+    )
+    testbed.run_for(20)
+    resolver_host = testbed.network.host(testbed.resolver.ip)
+    return {
+        "poisoned": testbed.resolver_poisoned("pool.ntp.org"),
+        "fragments_sent": poisoner.fragments_sent,
+        "refreshes": poisoner.refreshes,
+        "checksum_failures": resolver_host.stats.udp_checksum_failures,
+    }
+
+
+def run_all() -> dict:
+    return {
+        "baseline (fixed tail, checksum fix)": run_attempt(seed=401),
+        "no checksum fix": run_attempt(seed=402, disable_checksum_fix=True),
+        "random response tail": run_attempt(seed=403, rotation="random"),
+        "fragment-filtering resolver": run_attempt(seed=404, drop_fragments=True),
+    }
+
+
+def test_sec3_poisoning_mechanics_and_ablations(run_once):
+    outcomes = run_once(run_all)
+    print()
+    print(
+        format_table(
+            ["Variant", "Poisoned", "Fragments sent", "UDP checksum failures"],
+            [
+                [name, o["poisoned"], o["fragments_sent"], o["checksum_failures"]]
+                for name, o in outcomes.items()
+            ],
+            title="Section III — poisoning mechanics and ablations",
+        )
+    )
+    assert outcomes["baseline (fixed tail, checksum fix)"]["poisoned"]
+    assert not outcomes["no checksum fix"]["poisoned"]
+    assert outcomes["no checksum fix"]["checksum_failures"] >= 1
+    assert not outcomes["random response tail"]["poisoned"]
+    assert not outcomes["fragment-filtering resolver"]["poisoned"]
+
+
+def test_sec4a_low_attack_volume(run_once):
+    """Section IV-A: at most 150/30 = 5 spoofed fragments per TTL window."""
+
+    def run():
+        testbed = build_testbed(TestbedConfig(pool_size=24, seed=405, pool_rotation="fixed"))
+        plan = PoisoningPlan(
+            resolver_ip=testbed.resolver.ip,
+            nameserver_ip=NAMESERVER_IP,
+            malicious_addresses=testbed.attacker.redirect_addresses(4),
+            target_mtu=68,
+            ipid_candidates=1,
+            max_duration=150.0,
+        )
+        poisoner = DNSFragmentPoisoner(testbed.attacker, testbed.simulator, plan)
+        poisoner.start()
+        testbed.run_for(150.0)
+        poisoner.stop()
+        return poisoner
+
+    poisoner = run_once(run)
+    print(f"\nplant rounds in one 150 s TTL window: {poisoner.refreshes} "
+          f"(paper bound: 150/30 = 5), fragments per round: 1")
+    assert poisoner.refreshes <= 5
+    assert poisoner.fragments_sent <= 5

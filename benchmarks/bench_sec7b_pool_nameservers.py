@@ -1,0 +1,49 @@
+"""Section VII-B — fragmentation support of the pool.ntp.org nameservers.
+
+Probes the 30 pool nameservers with the PMTUD methodology: 16 of 30 fragment
+DNS responses to 548 bytes or below, and none serves DNSSEC for the zone.
+Also reports the open-configuration-interface prevalence quoted in section
+IV-B2c (5.3 % of pool servers).
+"""
+
+from __future__ import annotations
+
+from repro.measurement.frag_scan import FragmentationScan
+from repro.measurement.population import generate_pool_nameservers
+from repro.measurement.report import format_percentage, format_table
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.ntp.pool import PAPER_OPEN_CONFIG_FRACTION, build_pool_population
+
+
+def run_scan():
+    pool_ns_summary = FragmentationScan([]).scan_pool_nameservers(generate_pool_nameservers())
+    simulator = Simulator(seed=29)
+    network = Network(simulator)
+    pool = build_pool_population(simulator, network, size=600, instantiate_servers=False)
+    return pool_ns_summary, pool
+
+
+def test_sec7b_pool_nameserver_fragmentation(run_once):
+    summary, pool = run_once(run_scan)
+    print()
+    print(
+        format_table(
+            ["Metric", "Measured", "Paper"],
+            [
+                ["pool nameservers probed", summary["nameservers"], 30],
+                ["fragment to <= 548 bytes", summary["fragment_below_548"], 16],
+                ["DNSSEC-signed", summary["dnssec_signed"], 0],
+                [
+                    "NTP servers with open config interface",
+                    format_percentage(pool.open_config_fraction(), 1),
+                    "5.3%",
+                ],
+            ],
+            title="Section VII-B — pool.ntp.org nameserver fragmentation support",
+        )
+    )
+    assert summary["nameservers"] == 30
+    assert summary["fragment_below_548"] == 16
+    assert summary["dnssec_signed"] == 0
+    assert abs(pool.open_config_fraction() - PAPER_OPEN_CONFIG_FRACTION) < 0.02

@@ -1,0 +1,102 @@
+"""Table II — run-time attack duration against different clients.
+
+The paper's lab measurements: ntpd/P2 47 min, ntpd/P1 17 min, "openntpd"/P1
+84 min (a row we reproduce with the slow SNTP failover behaviour of
+systemd-timesyncd, see DESIGN.md), chrony/P1 57 min.  The benchmark replays
+the same experiment — a synchronised client, a directly poisoned resolver,
+and the rate-limit-abuse association removal — with the default client models
+and reports the measured durations.  Absolute values depend on the documented
+model parameters; the ordering (P1 < P2 < chrony < slowest SNTP failover) is
+the reproduced shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.run_time import RunTimeAttack, RunTimeScenario
+from repro.measurement.report import format_table
+from repro.ntp.clients import ChronyClient, NtpdClient, SystemdTimesyncdClient
+from repro.testbed import TestbedConfig, build_testbed
+
+#: Paper Table II, minutes.
+PAPER_TABLE2 = {
+    ("ntpd", "P2"): 47.0,
+    ("ntpd", "P1"): 17.0,
+    ("openntpd*", "P1"): 84.0,
+    ("chrony", "P1"): 57.0,
+}
+
+SCENARIOS = [
+    ("ntpd", NtpdClient, RunTimeScenario.P2_REFID_DISCOVERY),
+    ("ntpd", NtpdClient, RunTimeScenario.P1_KNOWN_SERVERS),
+    ("openntpd*", SystemdTimesyncdClient, RunTimeScenario.P1_KNOWN_SERVERS),
+    ("chrony", ChronyClient, RunTimeScenario.P1_KNOWN_SERVERS),
+]
+
+
+def run_scenario(label, client_cls, scenario, seed=5):
+    testbed = build_testbed(TestbedConfig(pool_size=48, seed=seed))
+    victim = testbed.add_client(client_cls)
+    victim.start()
+    testbed.run_for(1500)
+    attack = RunTimeAttack(
+        testbed.attacker,
+        testbed.simulator,
+        testbed.resolver,
+        victim,
+        scenario=scenario,
+        known_server_list=testbed.pool.addresses,
+        max_duration=3600.0 * 3,
+    )
+    result = attack.run()
+    return {
+        "label": label,
+        "scenario": scenario.value,
+        "success": result.success,
+        "minutes": result.attack_duration_minutes,
+        "shift": result.clock_shift_achieved,
+    }
+
+
+def run_table2():
+    return [run_scenario(label, cls, scenario) for label, cls, scenario in SCENARIOS]
+
+
+def test_table2_runtime_attack_durations(run_once):
+    rows = run_once(run_table2)
+    print()
+    print(
+        format_table(
+            ["Client", "Scenario", "Success", "Measured (min)", "Paper (min)", "Shift (s)"],
+            [
+                [
+                    r["label"],
+                    r["scenario"],
+                    r["success"],
+                    None if r["minutes"] is None else round(r["minutes"], 1),
+                    PAPER_TABLE2[(r["label"], r["scenario"])],
+                    round(r["shift"], 1),
+                ]
+                for r in rows
+            ],
+            title="Table II — run-time attack duration",
+        )
+    )
+    results = {(r["label"], r["scenario"]): r for r in rows}
+    # Every attack succeeds and applies the -500 s shift.
+    for row in rows:
+        assert row["success"], row
+        assert row["shift"] == pytest.approx(-500.0, abs=5.0)
+    # Shape: P1 against ntpd is the fastest, P2 is markedly slower, chrony is
+    # slower than ntpd/P2, and the SNTP sequential-failover row is slowest.
+    ntpd_p1 = results[("ntpd", "P1")]["minutes"]
+    ntpd_p2 = results[("ntpd", "P2")]["minutes"]
+    chrony = results[("chrony", "P1")]["minutes"]
+    slowest = results[("openntpd*", "P1")]["minutes"]
+    assert ntpd_p1 < ntpd_p2 < chrony < slowest
+    # Durations are in the tens-of-minutes regime the paper reports.
+    assert 5 <= ntpd_p1 <= 35
+    assert 20 <= ntpd_p2 <= 70
+    assert 30 <= chrony <= 90
+    assert 45 <= slowest <= 120

@@ -1,0 +1,93 @@
+"""Table III — probability that a client is in a vulnerable state.
+
+Regenerates P1(n) and P2(m, n) for m = 1..9 with p_rate = 38 % (the measured
+rate-limiting prevalence), checks the values against the published table, and
+cross-checks the closed forms with Monte-Carlo simulation over the synthetic
+pool ground truth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probability import (
+    monte_carlo_scenario1,
+    monte_carlo_scenario2,
+    table3_rows,
+)
+from repro.measurement.report import format_table
+
+#: Paper Table III (percent).
+PAPER_TABLE3 = {
+    1: (1, 38.0, 38.0),
+    2: (2, 14.4, 14.4),
+    3: (2, 14.4, 32.4),
+    4: (3, 5.5, 15.7),
+    5: (3, 5.5, 28.4),
+    6: (4, 2.1, 15.3),
+    7: (5, 0.8, 7.8),
+    8: (6, 0.3, 3.9),
+    9: (7, 0.1, 1.8),
+}
+
+
+def build_table3():
+    rows = table3_rows()
+    monte_carlo = {
+        row.m: (
+            monte_carlo_scenario1(row.n, trials=200_000),
+            monte_carlo_scenario2(row.m, row.n, trials=200_000),
+        )
+        for row in rows
+    }
+    return rows, monte_carlo
+
+
+def test_table3_probabilities(run_once):
+    rows, monte_carlo = run_once(build_table3)
+    print()
+    print(
+        format_table(
+            ["m", "n", "P1(n)", "P2(m,n)", "P1 (paper)", "P2 (paper)", "P1 (MC)", "P2 (MC)"],
+            [
+                [
+                    row.m,
+                    row.n,
+                    f"{row.p1 * 100:.1f}%",
+                    f"{row.p2 * 100:.1f}%",
+                    f"{PAPER_TABLE3[row.m][1]:.1f}%",
+                    f"{PAPER_TABLE3[row.m][2]:.1f}%",
+                    f"{monte_carlo[row.m][0] * 100:.1f}%",
+                    f"{monte_carlo[row.m][1] * 100:.1f}%",
+                ]
+                for row in rows
+            ],
+            title="Table III — vulnerable-state probabilities (p_rate = 38%)",
+        )
+    )
+    for row in rows:
+        n_expected, p1_expected, p2_expected = PAPER_TABLE3[row.m]
+        assert row.n == n_expected
+        assert row.p1 * 100 == pytest.approx(p1_expected, abs=0.06)
+        assert row.p2 * 100 == pytest.approx(p2_expected, abs=0.06)
+        assert monte_carlo[row.m][0] == pytest.approx(row.p1, abs=0.005)
+        assert monte_carlo[row.m][1] == pytest.approx(row.p2, abs=0.005)
+
+
+def test_table3_p_rate_ablation(run_once):
+    """Ablation: how the success probabilities scale with rate-limiting prevalence."""
+
+    def sweep():
+        return {p: table3_rows(m_values=[6], p_rate=p)[0] for p in (0.2, 0.38, 0.6, 0.8)}
+
+    rows = run_once(sweep)
+    print()
+    print(
+        format_table(
+            ["p_rate", "P1(4)", "P2(6,4)"],
+            [[p, f"{row.p1*100:.1f}%", f"{row.p2*100:.1f}%"] for p, row in rows.items()],
+            title="Ablation — ntpd default (m=6) vs rate-limiting prevalence",
+        )
+    )
+    values = [row.p2 for row in rows.values()]
+    assert values == sorted(values)

@@ -1,0 +1,70 @@
+"""Table V — results of the client resolver study using ads.
+
+Runs the ad-network methodology (seven image-load tests per client, validity
+filtering, aggregation by region/device and the "without Google" row) against
+the synthetic web-client population and reproduces the fragment-acceptance
+and DNSSEC-validation figures.
+"""
+
+from __future__ import annotations
+
+from repro.measurement.ad_network import AdNetworkStudy
+from repro.measurement.population import (
+    PAPER_AD_REGIONS,
+    PAPER_DNSSEC_VALIDATION_RANGE,
+    generate_web_clients,
+)
+from repro.measurement.report import format_percentage, format_table
+
+GROUPS = [
+    "Asia",
+    "Africa",
+    "Europe",
+    "Northern America",
+    "Latin America",
+    "ALL",
+    "Without Google",
+    "PC",
+    "Mobile,Tablet",
+]
+
+
+def run_study():
+    return AdNetworkStudy(generate_web_clients()).run()
+
+
+def test_table5_ad_network_study(run_once):
+    report = run_once(run_study)
+    print()
+    rows = []
+    for group in GROUPS:
+        row = report.row(group)
+        paper = PAPER_AD_REGIONS.get(group)
+        rows.append(
+            [
+                group,
+                format_percentage(row.tiny_fraction, 1),
+                format_percentage(row.any_fraction, 1),
+                format_percentage(row.dnssec_fraction, 1),
+                row.total,
+                "" if paper is None else f"{paper[1]*100:.1f}% / {paper[2]*100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["Group", "Accepts 68 B", "Accepts any", "Validates DNSSEC", "Total", "Paper (tiny/any)"],
+            rows,
+            title="Table V — ad-network client resolver study",
+        )
+    )
+    for region, (count, tiny, any_) in PAPER_AD_REGIONS.items():
+        row = report.row(region)
+        assert abs(row.tiny_fraction - tiny) < 0.12
+        assert abs(row.any_fraction - any_) < 0.08
+    all_row = report.row("ALL")
+    assert 0.55 <= all_row.tiny_fraction <= 0.72          # paper: 64 %
+    assert 0.82 <= all_row.any_fraction <= 0.95           # paper: 91 %
+    assert report.row("Without Google").tiny_fraction > all_row.tiny_fraction
+    low, high = report.dnssec_validation_range()
+    assert PAPER_DNSSEC_VALIDATION_RANGE[0] - 0.06 <= low
+    assert high <= PAPER_DNSSEC_VALIDATION_RANGE[1] + 0.06

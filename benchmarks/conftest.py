@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The simulated
+experiments are deterministic, so each one is run exactly once per benchmark
+(``rounds=1``) — the benchmark timing then reports the cost of regenerating
+that artefact, and the artefact itself is printed (run with ``-s`` to see the
+tables) and summarised in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under the benchmark timer."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

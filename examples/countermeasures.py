@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Countermeasures from section IX, evaluated against the boot-time attack.
+
+Four configurations face the same off-path attacker:
+
+1. the vulnerable baseline (DNS-configured SNTP client, fragment-accepting
+   resolver, unsigned pool zone),
+2. a client configured with static NTP server addresses (the paper's
+   immediate recommendation),
+3. a resolver that filters IP fragments, and
+4. openntpd's HTTPS ``constraint`` check, which refuses time that
+   contradicts an authenticated coarse time source.
+
+Run with::
+
+    python examples/countermeasures.py
+"""
+
+from __future__ import annotations
+
+from repro.core.boot_time import BootTimeAttack
+from repro.measurement.report import format_table
+from repro.ntp.clients import OpenNTPDClient, SystemdTimesyncdClient
+from repro.testbed import NAMESERVER_IP, TestbedConfig, build_testbed
+
+
+def attack_testbed(seed: int, drop_fragments: bool = False):
+    testbed = build_testbed(
+        TestbedConfig(
+            pool_size=32,
+            seed=seed,
+            pool_rotation="fixed",
+            resolver_drops_fragments=drop_fragments,
+        )
+    )
+    attack = BootTimeAttack(
+        attacker=testbed.attacker,
+        simulator=testbed.simulator,
+        resolver=testbed.resolver,
+        nameserver_ip=NAMESERVER_IP,
+        target_mtu=68,
+    )
+    attack.launch_poisoning()
+    testbed.run_for(10)
+    return testbed, attack
+
+
+def baseline() -> list:
+    testbed, attack = attack_testbed(seed=91)
+    victim = testbed.add_client(SystemdTimesyncdClient)
+    result = attack.evaluate(victim, observation_period=400)
+    return ["baseline (DNS + fragments accepted)", result.success, f"{result.clock_shift_achieved:+.1f}"]
+
+
+def static_addresses() -> list:
+    testbed, attack = attack_testbed(seed=92)
+    victim = testbed.add_client(SystemdTimesyncdClient)
+    victim.config.runtime_dns = False
+    victim._add_servers(testbed.pool.addresses[:4], domain="")
+    victim.started = True
+    victim.booted_at = testbed.simulator.now
+    victim._schedule_poll()
+    testbed.run_for(400)
+    return ["static server addresses (no DNS)", abs(victim.clock_error()) > 5.0, f"{victim.clock_error():+.1f}"]
+
+
+def fragment_filtering_resolver() -> list:
+    testbed, attack = attack_testbed(seed=93, drop_fragments=True)
+    victim = testbed.add_client(SystemdTimesyncdClient)
+    result = attack.evaluate(victim, observation_period=400)
+    return ["fragment-filtering resolver", result.success, f"{result.clock_shift_achieved:+.1f}"]
+
+
+def openntpd_constraint() -> list:
+    testbed, attack = attack_testbed(seed=94)
+    victim = testbed.add_client(OpenNTPDClient)
+    victim.tls_constraint = True
+    result = attack.evaluate(victim, observation_period=600)
+    return ["openntpd HTTPS constraint", result.success, f"{result.clock_shift_achieved:+.1f}"]
+
+
+def main() -> None:
+    rows = [baseline(), static_addresses(), fragment_filtering_resolver(), openntpd_constraint()]
+    print(
+        format_table(
+            ["Configuration", "Clock shifted?", "Final clock error (s)"],
+            rows,
+            title="Section IX — countermeasures against the boot-time attack",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

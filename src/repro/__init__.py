@@ -1,0 +1,26 @@
+"""repro — reproduction of "The Impact of DNS Insecurity on Time" (DSN 2020).
+
+The package implements, from scratch and in pure Python, every system the
+paper's attacks and measurements touch:
+
+* :mod:`repro.netsim` — a discrete-event network simulator with byte-accurate
+  IPv4 fragmentation, UDP checksums, ICMP/PMTUD and off-path injection,
+* :mod:`repro.dns` — DNS wire format, authoritative nameservers (including a
+  ``pool.ntp.org`` model), caching resolvers and simplified DNSSEC,
+* :mod:`repro.ntp` — NTP packets, clocks, rate-limiting servers, the pool
+  population, behavioural models of seven client implementations and the
+  Chronos-enhanced client,
+* :mod:`repro.core` — the paper's contribution: the off-path DNS poisoning
+  primitive, the boot-time / run-time / Chronos attacks and the analytic
+  success-probability model,
+* :mod:`repro.measurement` — the attack-surface measurement methodologies run
+  against synthetic Internet populations,
+* :mod:`repro.testbed` — a pre-wired lab topology used by examples, tests and
+  benchmarks.
+"""
+
+from repro.testbed import LabTestbed, TestbedConfig, build_testbed
+
+__version__ = "1.0.0"
+
+__all__ = ["LabTestbed", "TestbedConfig", "build_testbed", "__version__"]

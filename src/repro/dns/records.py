@@ -1,0 +1,198 @@
+"""DNS resource records and rdata encoding.
+
+Records keep a structured ``data`` field (e.g. an address string for A
+records) alongside helpers to encode/decode the rdata wire bytes.  Only the
+types the reproduction needs are implemented; unknown types round-trip as
+opaque bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.dns.errors import MessageError
+from repro.dns.names import decode_name, encode_name, normalize_name
+from repro.netsim.addresses import int_to_ip, ip_to_int
+
+
+class RRType(IntEnum):
+    """Resource record types used by the reproduction."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    TXT = 16
+    AAAA = 28
+    DNSKEY = 48
+    RRSIG = 46
+    ANY = 255
+
+
+class RRClass(IntEnum):
+    """Resource record classes (only IN is used)."""
+
+    IN = 1
+
+
+@dataclass
+class ResourceRecord:
+    """One DNS resource record.
+
+    ``data`` holds the record's natural Python representation:
+
+    * ``A`` / ``AAAA``: the address as a string,
+    * ``NS`` / ``CNAME``: the target name,
+    * ``TXT``: the text string,
+    * ``SOA``: a ``(mname, rname, serial, refresh, retry, expire, minimum)`` tuple,
+    * ``RRSIG``: a ``(covered_type, key_tag, signature_hex)`` tuple,
+    * ``DNSKEY``: the key tag as an integer,
+    * anything else: raw bytes.
+    """
+
+    name: str
+    rtype: RRType
+    ttl: int
+    data: object
+    rclass: RRClass = RRClass.IN
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.name = normalize_name(self.name)
+        if self.ttl < 0:
+            raise MessageError(f"negative TTL on {self.name}")
+
+    @property
+    def key(self) -> tuple[str, RRType]:
+        """Cache key for this record: (owner name, type)."""
+        return (self.name, self.rtype)
+
+    def with_ttl(self, ttl: int) -> "ResourceRecord":
+        """Return a copy of this record with a different TTL."""
+        return ResourceRecord(
+            name=self.name,
+            rtype=self.rtype,
+            ttl=ttl,
+            data=self.data,
+            rclass=self.rclass,
+            metadata=dict(self.metadata),
+        )
+
+    # ------------------------------------------------------------- encoding
+    def encode_rdata(self, compression: dict[str, int] | None, offset: int) -> bytes:
+        """Encode the rdata portion of this record."""
+        if self.rtype in (RRType.A, RRType.AAAA):
+            return ip_to_int(str(self.data)).to_bytes(4, "big")
+        if self.rtype in (RRType.NS, RRType.CNAME):
+            # Names inside rdata are not compressed here to keep decoding
+            # independent of the enclosing message (matches common practice
+            # for non-well-known types and keeps sizes conservative).
+            return encode_name(str(self.data), None, offset)
+        if self.rtype is RRType.TXT:
+            text = str(self.data).encode("ascii")
+            return bytes([len(text)]) + text
+        if self.rtype is RRType.SOA:
+            mname, rname, serial, refresh, retry, expire, minimum = self.data
+            return (
+                encode_name(mname, None, offset)
+                + encode_name(rname, None, offset)
+                + struct.pack("!IIIII", serial, refresh, retry, expire, minimum)
+            )
+        if self.rtype is RRType.RRSIG:
+            covered, key_tag, signature_hex = self.data
+            signature = bytes.fromhex(signature_hex)
+            return struct.pack("!HH", int(covered), key_tag) + signature
+        if self.rtype is RRType.DNSKEY:
+            return struct.pack("!H", int(self.data))
+        if isinstance(self.data, bytes):
+            return self.data
+        raise MessageError(f"cannot encode rdata for {self.rtype}")
+
+    @classmethod
+    def decode_rdata(
+        cls, rtype: RRType, rdata: bytes, message: bytes, rdata_offset: int
+    ) -> object:
+        """Decode rdata bytes back into the structured representation."""
+        if rtype in (RRType.A, RRType.AAAA):
+            if len(rdata) != 4:
+                raise MessageError("A record rdata must be 4 bytes")
+            return int_to_ip(int.from_bytes(rdata, "big"))
+        if rtype in (RRType.NS, RRType.CNAME):
+            name, _ = decode_name(message, rdata_offset)
+            return name
+        if rtype is RRType.TXT:
+            if not rdata:
+                return ""
+            length = rdata[0]
+            return rdata[1 : 1 + length].decode("ascii")
+        if rtype is RRType.SOA:
+            mname, cursor = decode_name(message, rdata_offset)
+            rname, cursor = decode_name(message, cursor)
+            consumed = cursor - rdata_offset
+            serial, refresh, retry, expire, minimum = struct.unpack(
+                "!IIIII", rdata[consumed : consumed + 20]
+            )
+            return (mname, rname, serial, refresh, retry, expire, minimum)
+        if rtype is RRType.RRSIG:
+            covered, key_tag = struct.unpack("!HH", rdata[:4])
+            return (RRType(covered), key_tag, rdata[4:].hex())
+        if rtype is RRType.DNSKEY:
+            return struct.unpack("!H", rdata[:2])[0]
+        return rdata
+
+
+# ----------------------------------------------------------------- factories
+def a_record(name: str, address: str, ttl: int = 300) -> ResourceRecord:
+    """Create an A record mapping ``name`` to ``address``."""
+    return ResourceRecord(name=name, rtype=RRType.A, ttl=ttl, data=address)
+
+
+def ns_record(name: str, nameserver: str, ttl: int = 86400) -> ResourceRecord:
+    """Create an NS record delegating ``name`` to ``nameserver``."""
+    return ResourceRecord(name=name, rtype=RRType.NS, ttl=ttl, data=nameserver)
+
+
+def cname_record(name: str, target: str, ttl: int = 300) -> ResourceRecord:
+    """Create a CNAME record aliasing ``name`` to ``target``."""
+    return ResourceRecord(name=name, rtype=RRType.CNAME, ttl=ttl, data=target)
+
+
+def txt_record(name: str, text: str, ttl: int = 300) -> ResourceRecord:
+    """Create a TXT record."""
+    return ResourceRecord(name=name, rtype=RRType.TXT, ttl=ttl, data=text)
+
+
+def soa_record(
+    name: str,
+    mname: str,
+    rname: str = "hostmaster.example",
+    serial: int = 1,
+    refresh: int = 7200,
+    retry: int = 3600,
+    expire: int = 1209600,
+    minimum: int = 300,
+    ttl: int = 3600,
+) -> ResourceRecord:
+    """Create an SOA record for a zone apex."""
+    return ResourceRecord(
+        name=name,
+        rtype=RRType.SOA,
+        ttl=ttl,
+        data=(mname, rname, serial, refresh, retry, expire, minimum),
+    )
+
+
+def rrsig_record(
+    name: str, covered: RRType, key_tag: int, signature_hex: str, ttl: int = 300
+) -> ResourceRecord:
+    """Create an RRSIG record covering ``covered`` records at ``name``."""
+    return ResourceRecord(
+        name=name, rtype=RRType.RRSIG, ttl=ttl, data=(covered, key_tag, signature_hex)
+    )
+
+
+def dnskey_record(name: str, key_tag: int, ttl: int = 3600) -> ResourceRecord:
+    """Create a DNSKEY record carrying the zone's key tag."""
+    return ResourceRecord(name=name, rtype=RRType.DNSKEY, ttl=ttl, data=key_tag)

@@ -1,0 +1,133 @@
+"""Stub resolver: the client-side DNS API used by NTP clients and scanners.
+
+A stub resolver sends a single recursive query to a configured recursive
+resolver and waits for the answer.  NTP clients call
+:meth:`StubResolver.resolve` whenever they need to (re-)discover NTP servers;
+measurement tooling uses the same class with ``rd=False`` for cache snooping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dns.errors import MessageError
+from repro.dns.message import DNSMessage, ResponseCode
+from repro.dns.records import RRType
+from repro.netsim.host import Host
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class ResolutionResult:
+    """The outcome of one stub resolution."""
+
+    name: str
+    rtype: RRType
+    rcode: ResponseCode
+    addresses: list[str] = field(default_factory=list)
+    records: list = field(default_factory=list)
+    latency: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the resolution produced at least one usable answer."""
+        return not self.timed_out and self.rcode is ResponseCode.NOERROR and bool(self.records)
+
+    def ttls(self) -> list[int]:
+        """TTLs of the answer records (used by the snooping studies)."""
+        return [record.ttl for record in self.records]
+
+
+#: Callback invoked with the result of a resolution.
+ResolutionCallback = Callable[[ResolutionResult], None]
+
+
+class StubResolver:
+    """Sends recursive queries from a host to its configured resolver."""
+
+    def __init__(
+        self,
+        host: Host,
+        simulator: Simulator,
+        resolver_ip: str,
+        timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.simulator = simulator
+        self.resolver_ip = resolver_ip
+        self.timeout = timeout
+        self._rng = simulator.spawn_rng()
+        self.queries_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+
+    def resolve(
+        self,
+        name: str,
+        callback: ResolutionCallback,
+        rtype: RRType = RRType.A,
+        rd: bool = True,
+        resolver_ip: Optional[str] = None,
+    ) -> None:
+        """Resolve ``name`` and invoke ``callback`` with the result.
+
+        ``rd=False`` sends a non-recursive query, which well-behaved
+        resolvers answer from cache only — the primitive behind the
+        cache-snooping measurements of Table IV.
+        """
+        target = resolver_ip or self.resolver_ip
+        txid = int(self._rng.integers(0, 1 << 16))
+        query = DNSMessage.query(name, rtype, txid=txid, rd=rd)
+        socket = self.host.bind(0)
+        started = self.simulator.now
+        state = {"done": False}
+
+        def finish(result: ResolutionResult) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            socket.close()
+            callback(result)
+
+        def on_response(payload: bytes, src_ip: str, src_port: int) -> None:
+            if src_ip != target or src_port != 53:
+                return
+            try:
+                response = DNSMessage.decode(payload)
+            except MessageError:
+                return
+            if response.txid != txid or not response.is_response:
+                return
+            self.responses_received += 1
+            answers = [r for r in response.answers if r.rtype is rtype]
+            finish(
+                ResolutionResult(
+                    name=name,
+                    rtype=rtype,
+                    rcode=response.flags.rcode,
+                    addresses=[str(r.data) for r in answers],
+                    records=list(response.answers),
+                    latency=self.simulator.now - started,
+                )
+            )
+
+        def on_timeout() -> None:
+            if state["done"]:
+                return
+            self.timeouts += 1
+            finish(
+                ResolutionResult(
+                    name=name,
+                    rtype=rtype,
+                    rcode=ResponseCode.SERVFAIL,
+                    latency=self.simulator.now - started,
+                    timed_out=True,
+                )
+            )
+
+        socket.on_datagram = on_response
+        self.queries_sent += 1
+        socket.sendto(query.encode(), target, 53)
+        self.simulator.schedule(self.timeout, on_timeout, label=f"stub-timeout {name}")

@@ -1,0 +1,96 @@
+"""Internet-scale measurement studies from the paper, run against synthetic populations.
+
+The paper's attack-surface evaluation combines several measurement
+methodologies; every one of them is implemented here and exercised against a
+synthetic population whose *marginals* are parameters (defaulting to the
+values the paper observed), so the benchmarks regenerate the corresponding
+tables and figures:
+
+* :mod:`population` — generators for the synthetic resolvers, nameservers,
+  web clients and SMTP servers, with the paper's observed marginals as
+  documented defaults,
+* :mod:`cache_snooping` — RD=0 cache probing of open resolvers for the
+  ``pool.ntp.org`` record set (Table IV) and the TTL histogram (Figure 6),
+* :mod:`rate_limit_scan` — the 64-query/1 Hz probing of pool NTP servers for
+  rate limiting and Kiss-o'-Death behaviour (section VII-A), run against
+  real simulated servers,
+* :mod:`frag_scan` — PMTUD/fragment-size probing of nameservers (Figure 5,
+  section VII-B),
+* :mod:`ad_network` — the ad-network study of client resolvers: fragment
+  acceptance by size, region and device plus DNSSEC validation (Table V),
+* :mod:`shared_resolvers` — discovery of resolvers shared between web
+  clients, SMTP servers and open access (section VIII-B3),
+* :mod:`timing_side_channel` — the query-latency cache-inference experiment
+  that did *not* yield a usable threshold (Figure 7),
+* :mod:`report` — small helpers to render the results as the paper's tables.
+"""
+
+from repro.measurement.population import (
+    OpenResolverSpec,
+    WebClientSpec,
+    NameserverSpec,
+    SharedResolverSpec,
+    ResolverPopulationParameters,
+    WebClientPopulationParameters,
+    NameserverPopulationParameters,
+    SharedResolverPopulationParameters,
+    generate_open_resolvers,
+    generate_web_clients,
+    generate_nameservers,
+    generate_pool_nameservers,
+    generate_shared_resolvers,
+)
+from repro.measurement.cache_snooping import (
+    CacheSnoopingStudy,
+    CacheSnoopingReport,
+    POOL_QUERY_NAMES,
+)
+from repro.measurement.rate_limit_scan import RateLimitScan, RateLimitScanReport
+from repro.measurement.frag_scan import (
+    FragmentationScan,
+    FragmentationScanReport,
+    fragment_size_cdf,
+)
+from repro.measurement.ad_network import AdNetworkStudy, AdNetworkReport, TEST_DOMAINS
+from repro.measurement.shared_resolvers import (
+    SharedResolverStudy,
+    SharedResolverReport,
+)
+from repro.measurement.timing_side_channel import (
+    TimingSideChannelStudy,
+    TimingSideChannelReport,
+)
+from repro.measurement.report import format_table, format_percentage
+
+__all__ = [
+    "OpenResolverSpec",
+    "WebClientSpec",
+    "NameserverSpec",
+    "SharedResolverSpec",
+    "ResolverPopulationParameters",
+    "WebClientPopulationParameters",
+    "NameserverPopulationParameters",
+    "SharedResolverPopulationParameters",
+    "generate_open_resolvers",
+    "generate_web_clients",
+    "generate_nameservers",
+    "generate_pool_nameservers",
+    "generate_shared_resolvers",
+    "CacheSnoopingStudy",
+    "CacheSnoopingReport",
+    "POOL_QUERY_NAMES",
+    "RateLimitScan",
+    "RateLimitScanReport",
+    "FragmentationScan",
+    "FragmentationScanReport",
+    "fragment_size_cdf",
+    "AdNetworkStudy",
+    "AdNetworkReport",
+    "TEST_DOMAINS",
+    "SharedResolverStudy",
+    "SharedResolverReport",
+    "TimingSideChannelStudy",
+    "TimingSideChannelReport",
+    "format_table",
+    "format_percentage",
+]

@@ -1,0 +1,183 @@
+"""The ad-network client-resolver study (Table V, section VIII-B).
+
+A test web page served as a 'popunder' advertisement loads a series of
+images, each from a purpose-built domain whose nameserver always answers
+with fragments of a specific size (or with a deliberately broken / valid
+DNSSEC signature).  Whether each image loads reveals whether the client's
+resolver accepted that response:
+
+* ``baseline``  — ordinary A record (sanity check; failures are discarded),
+* ``ftiny``     — response fragmented to 68-byte fragments,
+* ``fsmall``    — 296-byte fragments,
+* ``fmedium``   — 580-byte fragments,
+* ``fbig``      — 1280-byte fragments,
+* ``sigfail``   — incorrectly DNSSEC-signed record (loads only if the
+  resolver does **not** validate),
+* ``sigright``  — correctly signed record (second sanity check).
+
+Results with the page open for less than 30 seconds or failing either sanity
+check are discarded.  Aggregation is by region and device type, plus a
+"without Google" row excluding clients using Google Public DNS (identified
+through the per-client random tokens in the nameserver logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.measurement.population import WebClientSpec
+
+#: The test domains and the fragment size (bytes) each one exercises.
+TEST_DOMAINS = {
+    "baseline": None,
+    "ftiny": 68,
+    "fsmall": 296,
+    "fmedium": 580,
+    "fbig": 1280,
+    "sigfail": None,
+    "sigright": None,
+}
+
+#: Fragment size labels in increasing order.
+FRAGMENT_TESTS = ("ftiny", "fsmall", "fmedium", "fbig")
+
+
+@dataclass
+class ClientTestResult:
+    """Per-client outcome of the seven image tests."""
+
+    client: WebClientSpec
+    loaded: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def valid(self) -> bool:
+        """The paper's filtering: page open >= 30 s, baseline and sigright load."""
+        return (
+            self.client.completed_test
+            and self.loaded.get("baseline", False)
+            and self.loaded.get("sigright", False)
+        )
+
+    @property
+    def accepts_tiny(self) -> bool:
+        """Resolver accepted the 68-byte fragmented response."""
+        return self.loaded.get("ftiny", False)
+
+    @property
+    def accepts_any_fragment(self) -> bool:
+        """Resolver accepted at least one fragmented response."""
+        return any(self.loaded.get(test, False) for test in FRAGMENT_TESTS)
+
+    @property
+    def validates_dnssec(self) -> bool:
+        """Resolver rejected the broken signature but accepted the valid one."""
+        return not self.loaded.get("sigfail", True) and self.loaded.get("sigright", False)
+
+
+@dataclass
+class AdNetworkGroupRow:
+    """One aggregated row of Table V."""
+
+    group: str
+    dataset: int
+    total: int
+    accepts_tiny: int
+    accepts_any: int
+    validates_dnssec: int
+
+    @property
+    def tiny_fraction(self) -> float:
+        """Fraction accepting 68-byte fragments."""
+        return self.accepts_tiny / self.total if self.total else 0.0
+
+    @property
+    def any_fraction(self) -> float:
+        """Fraction accepting any fragment size."""
+        return self.accepts_any / self.total if self.total else 0.0
+
+    @property
+    def dnssec_fraction(self) -> float:
+        """Fraction whose resolver validates DNSSEC."""
+        return self.validates_dnssec / self.total if self.total else 0.0
+
+
+@dataclass
+class AdNetworkReport:
+    """The aggregated study results (Table V plus the DNSSEC figures)."""
+
+    valid_results: int
+    discarded_results: int
+    google_clients: int
+    rows: list[AdNetworkGroupRow] = field(default_factory=list)
+
+    def row(self, group: str) -> AdNetworkGroupRow:
+        """Look up one aggregation row by its group label."""
+        for row in self.rows:
+            if row.group == group:
+                return row
+        raise KeyError(group)
+
+    def dnssec_validation_range(self) -> tuple[float, float]:
+        """Min/max DNSSEC validation fraction across the regional rows."""
+        regional = [
+            r.dnssec_fraction
+            for r in self.rows
+            if r.group not in ("ALL", "Without Google", "PC", "Mobile,Tablet")
+            and r.total > 0
+        ]
+        if not regional:
+            return (0.0, 0.0)
+        return (min(regional), max(regional))
+
+
+class AdNetworkStudy:
+    """Runs the ad-network measurement over a synthetic client population."""
+
+    def __init__(self, clients: list[WebClientSpec]) -> None:
+        self.clients = clients
+
+    @staticmethod
+    def run_client_tests(client: WebClientSpec) -> ClientTestResult:
+        """Model the seven image loads for one client."""
+        result = ClientTestResult(client=client)
+        result.loaded["baseline"] = client.baseline_ok
+        result.loaded["sigright"] = client.baseline_ok
+        result.loaded["sigfail"] = client.baseline_ok and not client.validates_dnssec
+        for test, size in TEST_DOMAINS.items():
+            if size is None:
+                continue
+            result.loaded[test] = client.baseline_ok and size in client.accepts_fragment_sizes
+        return result
+
+    def run(self) -> AdNetworkReport:
+        """Execute the study: test every client, filter, aggregate."""
+        results = [self.run_client_tests(client) for client in self.clients]
+        valid = [r for r in results if r.valid]
+        report = AdNetworkReport(
+            valid_results=len(valid),
+            discarded_results=len(results) - len(valid),
+            google_clients=sum(1 for r in valid if r.client.uses_google_dns),
+        )
+
+        def aggregate(group: str, members: list[ClientTestResult], dataset: int) -> None:
+            report.rows.append(
+                AdNetworkGroupRow(
+                    group=group,
+                    dataset=dataset,
+                    total=len(members),
+                    accepts_tiny=sum(1 for m in members if m.accepts_tiny),
+                    accepts_any=sum(1 for m in members if m.accepts_any_fragment),
+                    validates_dnssec=sum(1 for m in members if m.validates_dnssec),
+                )
+            )
+
+        regions = sorted({r.client.region for r in valid})
+        for region in regions:
+            members = [r for r in valid if r.client.region == region]
+            dataset = members[0].client.dataset if members else 1
+            aggregate(region, members, dataset)
+        aggregate("ALL", valid, 1)
+        aggregate("Without Google", [r for r in valid if not r.client.uses_google_dns], 1)
+        for device in ("PC", "Mobile,Tablet"):
+            aggregate(device, [r for r in valid if r.client.device == device], 1)
+        return report

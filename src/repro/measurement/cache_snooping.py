@@ -1,0 +1,143 @@
+"""Open-resolver cache snooping for NTP pool records (Table IV, Figure 6).
+
+Methodology of section VIII-A1, reproduced step by step:
+
+1. **Verify the technique per resolver.**  Send an RD=0 query for a domain
+   known *not* to be cached (it must come back unanswered) and an RD=0 query
+   for a domain planted in the cache by a previous RD=1 query (it must come
+   back answered).  Resolvers failing either check are discarded — they
+   ignore the RD bit or do not respond at all.
+2. **Probe the six pool names.**  For each verified resolver, send RD=0
+   queries for ``pool.ntp.org IN NS``, ``pool.ntp.org IN A`` and
+   ``{0..3}.pool.ntp.org IN A``.  A non-empty answer means the record is
+   cached, i.e. some NTP client behind this resolver recently resolved it.
+3. **Sanity-check via TTLs.**  Remaining TTLs of cached records should be
+   uniformly distributed over ``[0, 150]`` if the caching inference is sound
+   (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.population import OpenResolverSpec, POOL_RECORD_TTL
+
+#: The six (name, type) probes of Table IV, in the paper's order.
+POOL_QUERY_NAMES = [
+    "pool.ntp.org/NS",
+    "pool.ntp.org/A",
+    "0.pool.ntp.org/A",
+    "1.pool.ntp.org/A",
+    "2.pool.ntp.org/A",
+    "3.pool.ntp.org/A",
+]
+
+
+@dataclass
+class CacheSnoopingRow:
+    """One row of Table IV."""
+
+    query: str
+    cached_fraction: float
+    cached_count: int
+    not_cached_count: int
+
+
+@dataclass
+class CacheSnoopingReport:
+    """The full result of the cache-snooping study."""
+
+    resolvers_probed: int
+    resolvers_responding: int
+    resolvers_verified: int
+    rows: list[CacheSnoopingRow] = field(default_factory=list)
+    observed_ttls: list[float] = field(default_factory=list)
+    ntp_client_resolvers: int = 0
+    fragment_accepting_ntp_resolvers: int = 0
+
+    def row(self, query: str) -> CacheSnoopingRow:
+        """Look up one row by its query label."""
+        for row in self.rows:
+            if row.query == query:
+                return row
+        raise KeyError(query)
+
+    def ttl_histogram(self, bins: int = 15) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of cached-record TTLs (Figure 6)."""
+        return np.histogram(self.observed_ttls, bins=bins, range=(0, POOL_RECORD_TTL))
+
+    def fragment_acceptance_among_ntp_resolvers(self) -> float:
+        """Fraction of NTP-serving resolvers that accept fragmented responses."""
+        if self.ntp_client_resolvers == 0:
+            return 0.0
+        return self.fragment_accepting_ntp_resolvers / self.ntp_client_resolvers
+
+
+class CacheSnoopingStudy:
+    """Runs the cache-snooping methodology over a resolver population."""
+
+    def __init__(self, resolvers: list[OpenResolverSpec]) -> None:
+        self.resolvers = resolvers
+
+    # ------------------------------------------------------------- plumbing
+    @staticmethod
+    def probe_rd0(resolver: OpenResolverSpec, key: str) -> bool:
+        """Model one RD=0 probe: answered iff the record is cached.
+
+        Resolvers that do not honour the RD bit resolve the query anyway and
+        answer regardless; those are exactly the resolvers the verification
+        step rejects.
+        """
+        if not resolver.responds:
+            return False
+        if not resolver.honors_rd_bit:
+            return True  # answers everything — fails the "not cached" check
+        return key in resolver.cached_records
+
+    @classmethod
+    def verify_technique(cls, resolver: OpenResolverSpec) -> bool:
+        """Step 1: the not-cached probe must fail and the planted probe succeed."""
+        if not resolver.responds:
+            return False
+        answers_uncached = cls.probe_rd0(resolver, "verification-noncached.example/A")
+        if answers_uncached:
+            return False
+        # Plant a record with an RD=1 query, then check the RD=0 probe sees it.
+        if resolver.honors_rd_bit:
+            resolver.cached_records.setdefault("verification-cached.example/A", 0.0)
+        return cls.probe_rd0(resolver, "verification-cached.example/A")
+
+    # ----------------------------------------------------------------- main
+    def run(self) -> CacheSnoopingReport:
+        """Execute the full study and build the report."""
+        responding = [r for r in self.resolvers if r.responds]
+        verified = [r for r in responding if self.verify_technique(r)]
+        report = CacheSnoopingReport(
+            resolvers_probed=len(self.resolvers),
+            resolvers_responding=len(responding),
+            resolvers_verified=len(verified),
+        )
+        for query in POOL_QUERY_NAMES:
+            cached = 0
+            for resolver in verified:
+                if self.probe_rd0(resolver, query):
+                    cached += 1
+                    ttl = resolver.cached_remaining_ttl(query)
+                    if ttl is not None:
+                        report.observed_ttls.append(ttl)
+            report.rows.append(
+                CacheSnoopingRow(
+                    query=query,
+                    cached_fraction=cached / len(verified) if verified else 0.0,
+                    cached_count=cached,
+                    not_cached_count=len(verified) - cached,
+                )
+            )
+        ntp_resolvers = [r for r in verified if r.is_ntp_client_resolver()]
+        report.ntp_client_resolvers = len(ntp_resolvers)
+        report.fragment_accepting_ntp_resolvers = sum(
+            1 for r in ntp_resolvers if r.accepts_fragments
+        )
+        return report

@@ -1,0 +1,471 @@
+"""Synthetic populations standing in for the paper's Internet-scale datasets.
+
+The paper measured real populations: the Censys open-resolver dataset
+(~3.2 M responders), the nameservers of 1 M popular domains, web clients
+recruited through an advertisement network, and SMTP servers co-located with
+resolvers.  None of those datasets can be re-measured offline, so each is
+replaced by a generator that draws a synthetic population whose *marginal
+properties* default to the values the paper reports (and are documented as
+such next to each parameter).  The measurement *methodology* — what gets
+probed, how responses are classified, how results are aggregated — is the
+part reproduced faithfully; running it against these populations regenerates
+the shape of every table and figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.addresses import int_to_ip
+
+# --------------------------------------------------------------------------
+# Open resolvers (Table IV, Figure 6, Figure 7)
+# --------------------------------------------------------------------------
+
+#: Resolvers probed in the paper's open-resolver study (section VIII-A1).
+PAPER_RESOLVERS_PROBED = 1_583_045
+#: Resolvers for which the RD=0 verification procedure succeeded.
+PAPER_RESOLVERS_VERIFIED = 646_212
+#: Fraction of verified resolvers with the pool.ntp.org A record cached.
+PAPER_POOL_A_CACHED_FRACTION = 0.6941
+#: Cached fractions for the six probed names (Table IV).
+PAPER_CACHED_FRACTIONS = {
+    "pool.ntp.org/NS": 0.5828,
+    "pool.ntp.org/A": 0.6941,
+    "0.pool.ntp.org/A": 0.6392,
+    "1.pool.ntp.org/A": 0.6128,
+    "2.pool.ntp.org/A": 0.6155,
+    "3.pool.ntp.org/A": 0.5858,
+}
+#: Fraction of open resolvers accepting fragmented responses (section VIII-A2).
+PAPER_OPEN_RESOLVER_FRAGMENT_ACCEPTANCE = 0.31
+PAPER_NTP_RESOLVER_FRAGMENT_ACCEPTANCE = 0.32
+#: TTL of pool.ntp.org A records; cached remaining TTLs are uniform in [0, TTL].
+POOL_RECORD_TTL = 150
+
+
+@dataclass
+class OpenResolverSpec:
+    """Ground truth for one synthetic open resolver."""
+
+    address: str
+    responds: bool
+    honors_rd_bit: bool
+    accepts_fragments: bool
+    validates_dnssec: bool
+    #: Which of the probed (name, type) keys are currently cached, mapped to
+    #: the time elapsed since they were inserted (seconds).
+    cached_records: dict[str, float] = field(default_factory=dict)
+    #: Round-trip time from the scanner to this resolver (seconds).
+    rtt: float = 0.05
+    #: RTT from the resolver to the pool nameservers (upstream latency).
+    upstream_rtt: float = 0.08
+
+    def is_ntp_client_resolver(self) -> bool:
+        """The study's criterion: any pool record cached => used by NTP clients."""
+        return bool(self.cached_records)
+
+    def cached_remaining_ttl(self, key: str) -> float | None:
+        """Remaining TTL of a cached record, or None when not cached."""
+        if key not in self.cached_records:
+            return None
+        return max(0.0, POOL_RECORD_TTL - self.cached_records[key])
+
+
+@dataclass
+class ResolverPopulationParameters:
+    """Knobs for the open-resolver population generator (paper defaults)."""
+
+    size: int = 20_000
+    respond_fraction: float = PAPER_RESOLVERS_PROBED / (PAPER_RESOLVERS_PROBED + 1_674_103)
+    rd_verified_fraction: float = PAPER_RESOLVERS_VERIFIED / PAPER_RESOLVERS_PROBED
+    cached_fractions: dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_CACHED_FRACTIONS)
+    )
+    fragment_acceptance: float = PAPER_OPEN_RESOLVER_FRAGMENT_ACCEPTANCE
+    ntp_fragment_acceptance: float = PAPER_NTP_RESOLVER_FRAGMENT_ACCEPTANCE
+    dnssec_validation: float = 0.24
+    base_address: str = "100.64.0.1"
+    mean_rtt: float = 0.06
+    rtt_spread: float = 0.04
+
+
+def generate_open_resolvers(
+    params: ResolverPopulationParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[OpenResolverSpec]:
+    """Draw a synthetic open-resolver population.
+
+    Caching of the six probed names is drawn jointly: a resolver that serves
+    NTP clients tends to have several of the names cached, which reproduces
+    the correlated per-name fractions of Table IV rather than treating each
+    name independently.
+    """
+    params = params or ResolverPopulationParameters()
+    rng = rng or np.random.default_rng(0)
+    base = int.from_bytes(bytes([100, 64, 0, 1]), "big")
+    specs: list[OpenResolverSpec] = []
+    names = list(params.cached_fractions)
+    max_fraction = max(params.cached_fractions.values()) if names else 0.0
+    for index in range(params.size):
+        responds = bool(rng.random() < params.respond_fraction)
+        honors_rd = bool(rng.random() < params.rd_verified_fraction)
+        # "Serves NTP clients" is the latent property; each probed name is
+        # cached with probability fraction/max conditioned on it.
+        serves_ntp = bool(rng.random() < max_fraction)
+        cached: dict[str, float] = {}
+        if serves_ntp:
+            for name in names:
+                conditional = params.cached_fractions[name] / max_fraction
+                if rng.random() < conditional:
+                    cached[name] = float(rng.uniform(0, POOL_RECORD_TTL))
+        fragment_acceptance = (
+            params.ntp_fragment_acceptance if cached else params.fragment_acceptance
+        )
+        specs.append(
+            OpenResolverSpec(
+                address=int_to_ip((base + index) & 0xFFFFFFFF),
+                responds=responds,
+                honors_rd_bit=honors_rd,
+                accepts_fragments=bool(rng.random() < fragment_acceptance),
+                validates_dnssec=bool(rng.random() < params.dnssec_validation),
+                cached_records=cached,
+                rtt=float(max(0.005, rng.normal(params.mean_rtt, params.rtt_spread))),
+                upstream_rtt=float(max(0.005, rng.normal(0.08, 0.05))),
+            )
+        )
+    return specs
+
+
+# --------------------------------------------------------------------------
+# Web clients recruited through the ad network (Table V)
+# --------------------------------------------------------------------------
+
+#: Regional composition and per-region results of the paper's ad study.
+PAPER_AD_REGIONS = {
+    # region: (total clients ds1/ds2, tiny acceptance, any-size acceptance)
+    "Asia": (3169, 0.5822, 0.9034),
+    "Africa": (303, 0.7327, 0.9571),
+    "Europe": (1390, 0.7266, 0.9187),
+    "Northern America": (2314, 0.5843, 0.7593),
+    "Latin America": (838, 0.6826, 0.9057),
+}
+#: Overall fragment-acceptance figures quoted in the text of section VIII-B2.
+PAPER_AD_TINY_ACCEPTANCE = 0.64
+PAPER_AD_MEDIUM_ACCEPTANCE = 0.77
+PAPER_AD_BIG_ACCEPTANCE = 0.86
+#: DNSSEC validation range observed across geolocations.
+PAPER_DNSSEC_VALIDATION_RANGE = (0.1914, 0.2894)
+#: Per-region DNSSEC validation rates (chosen to span the published range;
+#: the paper reports only the range, not the per-region values).
+PAPER_DNSSEC_BY_REGION = {
+    "Asia": 0.20,
+    "Africa": 0.1914,
+    "Europe": 0.2894,
+    "Northern America": 0.27,
+    "Latin America": 0.22,
+}
+#: Clients observed to use Google Public DNS (filters small fragments).
+PAPER_GOOGLE_CLIENT_COUNT = 791
+PAPER_MOBILE_FRACTION = 3108 / 5847
+
+
+@dataclass
+class WebClientSpec:
+    """Ground truth for one ad-network test client."""
+
+    client_id: int
+    region: str
+    device: str
+    dataset: int
+    uses_google_dns: bool
+    #: Largest-to-smallest fragment acceptance: which MTUs the client's
+    #: resolver accepts fragmented responses for.
+    accepts_fragment_sizes: set[int] = field(default_factory=set)
+    validates_dnssec: bool = False
+    #: Whether the client kept the test page open long enough (>= 30 s).
+    completed_test: bool = True
+    baseline_ok: bool = True
+
+
+@dataclass
+class WebClientPopulationParameters:
+    """Knobs for the ad-network client population (paper defaults)."""
+
+    clients_per_region: dict[str, int] = field(
+        default_factory=lambda: {region: count for region, (count, _, _) in PAPER_AD_REGIONS.items()}
+    )
+    tiny_acceptance_by_region: dict[str, float] = field(
+        default_factory=lambda: {region: tiny for region, (_, tiny, _) in PAPER_AD_REGIONS.items()}
+    )
+    any_acceptance_by_region: dict[str, float] = field(
+        default_factory=lambda: {region: any_ for region, (_, _, any_) in PAPER_AD_REGIONS.items()}
+    )
+    dnssec_validation_by_region: dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_DNSSEC_BY_REGION)
+    )
+    google_dns_fraction: float = PAPER_GOOGLE_CLIENT_COUNT / 5847
+    mobile_fraction: float = PAPER_MOBILE_FRACTION
+    incomplete_test_fraction: float = 0.08
+    baseline_failure_fraction: float = 0.02
+
+
+#: The fragment sizes exercised by the study's test domains.
+AD_FRAGMENT_SIZES = (68, 296, 580, 1280)
+
+
+def generate_web_clients(
+    params: WebClientPopulationParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[WebClientSpec]:
+    """Draw the synthetic ad-network client population."""
+    params = params or WebClientPopulationParameters()
+    rng = rng or np.random.default_rng(1)
+    clients: list[WebClientSpec] = []
+    client_id = 0
+    for region, count in params.clients_per_region.items():
+        dataset = 2 if region == "Northern America" else 1
+        tiny_target = params.tiny_acceptance_by_region[region]
+        any_target = params.any_acceptance_by_region[region]
+        google_fraction = params.google_dns_fraction
+        # Google Public DNS filters small fragments, so the per-region target
+        # fractions (which include Google users) are met by scaling the
+        # probabilities applied to the non-Google clients.
+        non_google = max(1e-9, 1.0 - google_fraction)
+        google_big_acceptance = 0.95
+        tiny_non_google = min(1.0, tiny_target / non_google)
+        any_non_google = min(
+            1.0, max(0.0, any_target - google_fraction * google_big_acceptance) / non_google
+        )
+        for _ in range(count):
+            client_id += 1
+            uses_google = bool(rng.random() < google_fraction)
+            accepts: set[int] = set()
+            if uses_google:
+                if rng.random() < google_big_acceptance:
+                    accepts.add(1280)
+            else:
+                if rng.random() < any_non_google:
+                    accepts.add(1280)
+                    if rng.random() < (PAPER_AD_MEDIUM_ACCEPTANCE / PAPER_AD_BIG_ACCEPTANCE):
+                        accepts.update({580, 296})
+                    if rng.random() < min(1.0, tiny_non_google / any_non_google):
+                        accepts.update({68, 296, 580})
+            validates = bool(
+                rng.random() < params.dnssec_validation_by_region.get(region, 0.24)
+            )
+            clients.append(
+                WebClientSpec(
+                    client_id=client_id,
+                    region=region,
+                    device="Mobile,Tablet" if rng.random() < params.mobile_fraction else "PC",
+                    dataset=dataset,
+                    uses_google_dns=uses_google,
+                    accepts_fragment_sizes=accepts,
+                    validates_dnssec=validates,
+                    completed_test=bool(rng.random() >= params.incomplete_test_fraction),
+                    baseline_ok=bool(rng.random() >= params.baseline_failure_fraction),
+                )
+            )
+    return clients
+
+
+# --------------------------------------------------------------------------
+# Nameservers of popular domains (Figure 5, section VII-B)
+# --------------------------------------------------------------------------
+
+#: Fraction of popular domains that do not deploy DNSSEC but fragment.
+PAPER_FRAGMENTING_NO_DNSSEC_FRACTION = 0.0766
+#: Distribution of the *minimum* fragment size emitted by those nameservers.
+PAPER_MIN_FRAGMENT_DISTRIBUTION = {
+    68: 0.0095,
+    292: 0.0705,
+    548: 0.832,
+    1276: 0.06,
+    1500: 0.028,
+}
+#: Fraction of popular domains that sign with DNSSEC (~1 %).
+PAPER_SIGNED_DOMAIN_FRACTION = 0.01
+#: Pool nameserver findings: 16 of 30 fragment to <= 548 bytes, none signed.
+PAPER_POOL_NAMESERVERS = 30
+PAPER_POOL_NAMESERVERS_FRAGMENTING = 16
+
+
+@dataclass
+class NameserverSpec:
+    """Ground truth for one popular-domain nameserver."""
+
+    domain: str
+    address: str
+    supports_dnssec: bool
+    honors_pmtud: bool
+    #: Smallest fragment size the nameserver will go down to (bytes); only
+    #: meaningful when ``honors_pmtud`` is true.
+    min_fragment_size: int = 1500
+    is_ntp_domain: bool = False
+
+
+@dataclass
+class NameserverPopulationParameters:
+    """Knobs for the popular-domain nameserver population (paper defaults)."""
+
+    size: int = 10_000
+    signed_fraction: float = PAPER_SIGNED_DOMAIN_FRACTION
+    fragmenting_no_dnssec_fraction: float = PAPER_FRAGMENTING_NO_DNSSEC_FRACTION
+    min_fragment_distribution: dict[int, float] = field(
+        default_factory=lambda: dict(PAPER_MIN_FRAGMENT_DISTRIBUTION)
+    )
+    ntp_domain_count: int = 10
+    signed_ntp_domains: tuple[str, ...] = ("time.cloudflare.com",)
+
+
+def generate_nameservers(
+    params: NameserverPopulationParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[NameserverSpec]:
+    """Draw the synthetic popular-domain nameserver population.
+
+    A handful of NTP domains (including the single DNSSEC-signed one the
+    paper found, ``time.cloudflare.com``) are placed at the front of the
+    list so the NTP-specific sub-analysis has concrete entries to report.
+    """
+    params = params or NameserverPopulationParameters()
+    rng = rng or np.random.default_rng(2)
+    sizes = list(params.min_fragment_distribution)
+    weights = np.array([params.min_fragment_distribution[s] for s in sizes], dtype=float)
+    weights = weights / weights.sum()
+
+    specs: list[NameserverSpec] = []
+    ntp_domains = [
+        "pool.ntp.org",
+        "time.cloudflare.com",
+        "time.google.com",
+        "time.windows.com",
+        "time.apple.com",
+        "ntp.ubuntu.com",
+        "time.nist.gov",
+        "ntp1.hetzner.de",
+        "time.facebook.com",
+        "ntp.se",
+    ][: params.ntp_domain_count]
+    for index in range(params.size):
+        is_ntp = index < len(ntp_domains)
+        domain = ntp_domains[index] if is_ntp else f"domain{index}.example"
+        if is_ntp:
+            signed = domain in params.signed_ntp_domains
+        else:
+            signed = bool(rng.random() < params.signed_fraction)
+        if signed:
+            honors_pmtud = bool(rng.random() < 0.5)
+        else:
+            honors_pmtud = bool(
+                rng.random()
+                < params.fragmenting_no_dnssec_fraction / (1 - params.signed_fraction)
+            )
+        min_fragment = 1500
+        if honors_pmtud:
+            min_fragment = int(rng.choice(sizes, p=weights))
+        specs.append(
+            NameserverSpec(
+                domain=domain,
+                address=int_to_ip((int.from_bytes(bytes([101, 0, 0, 1]), "big") + index) & 0xFFFFFFFF),
+                supports_dnssec=signed,
+                honors_pmtud=honors_pmtud,
+                min_fragment_size=min_fragment,
+                is_ntp_domain=is_ntp,
+            )
+        )
+    return specs
+
+
+def generate_pool_nameservers(
+    count: int = PAPER_POOL_NAMESERVERS,
+    fragmenting_count: int = PAPER_POOL_NAMESERVERS_FRAGMENTING,
+    rng: np.random.Generator | None = None,
+) -> list[NameserverSpec]:
+    """The nameservers serving the ``pool.ntp.org`` zone (section VII-B).
+
+    The paper probed 30 of them: 16 fragment DNS responses to 548 bytes or
+    below on receipt of ICMP fragmentation-needed, and none serves DNSSEC for
+    the zone.
+    """
+    rng = rng or np.random.default_rng(5)
+    indices = set(int(i) for i in rng.choice(count, size=fragmenting_count, replace=False))
+    specs = []
+    for index in range(count):
+        fragments = index in indices
+        specs.append(
+            NameserverSpec(
+                domain="pool.ntp.org",
+                address=int_to_ip((int.from_bytes(bytes([198, 51, 100, 10]), "big") + index) & 0xFFFFFFFF),
+                supports_dnssec=False,
+                honors_pmtud=fragments,
+                min_fragment_size=int(rng.choice([292, 548], p=[0.2, 0.8])) if fragments else 1500,
+                is_ntp_domain=True,
+            )
+        )
+    return specs
+
+
+# --------------------------------------------------------------------------
+# Shared resolvers (section VIII-B3)
+# --------------------------------------------------------------------------
+
+#: The categories and counts reported by the paper.
+PAPER_SHARED_RESOLVER_TOTAL = 18_668
+PAPER_WEB_ONLY_FRACTION = 0.862
+PAPER_WEB_AND_SMTP_FRACTION = 0.113
+PAPER_OPEN_FRACTION = 0.023
+PAPER_OPEN_AND_SMTP_FRACTION = 0.002
+PAPER_TRIGGERABLE_FRACTION = 0.138
+
+
+@dataclass
+class SharedResolverSpec:
+    """Ground truth for one resolver observed via the ad network."""
+
+    address: str
+    used_by_web_clients: bool = True
+    smtp_server_in_slash24: bool = False
+    is_open_resolver: bool = False
+
+
+@dataclass
+class SharedResolverPopulationParameters:
+    """Knobs for the shared-resolver population (paper defaults)."""
+
+    size: int = PAPER_SHARED_RESOLVER_TOTAL
+    smtp_fraction: float = PAPER_WEB_AND_SMTP_FRACTION + PAPER_OPEN_AND_SMTP_FRACTION
+    open_fraction: float = PAPER_OPEN_FRACTION + PAPER_OPEN_AND_SMTP_FRACTION
+    open_and_smtp_fraction: float = PAPER_OPEN_AND_SMTP_FRACTION
+    base_address: str = "102.0.0.1"
+
+
+def generate_shared_resolvers(
+    params: SharedResolverPopulationParameters | None = None,
+    rng: np.random.Generator | None = None,
+) -> list[SharedResolverSpec]:
+    """Draw the synthetic population of resolvers used by web clients."""
+    params = params or SharedResolverPopulationParameters()
+    rng = rng or np.random.default_rng(3)
+    base = int.from_bytes(bytes([102, 0, 0, 1]), "big")
+    specs: list[SharedResolverSpec] = []
+    for index in range(params.size):
+        draw = rng.random()
+        is_open = draw < params.open_fraction
+        if is_open:
+            has_smtp = rng.random() < (params.open_and_smtp_fraction / params.open_fraction)
+        else:
+            remaining_smtp = params.smtp_fraction - params.open_and_smtp_fraction
+            has_smtp = rng.random() < remaining_smtp / (1 - params.open_fraction)
+        specs.append(
+            SharedResolverSpec(
+                address=int_to_ip((base + index * 7) & 0xFFFFFFFF),
+                used_by_web_clients=True,
+                smtp_server_in_slash24=bool(has_smtp),
+                is_open_resolver=bool(is_open),
+            )
+        )
+    return specs

@@ -1,0 +1,31 @@
+"""Small formatting helpers for printing paper-style tables from benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_percentage(value: float, decimals: int = 2) -> str:
+    """Render a fraction as a percentage string, e.g. ``0.694 -> '69.40%'``."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table (used by the benchmark output)."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""The timing side-channel cache test that did not work (Figure 7).
+
+To find out whether web clients' resolvers also serve NTP clients, the paper
+tried a latency-based cache test: query a resolver for ``pool.ntp.org``,
+query it again a few times, and compare the first latency ``t_first`` to the
+average of the subsequent ones ``t_avg``.  A cached record should make
+``t_first - t_avg`` small; a cache miss on the first query should make it
+roughly the resolver-to-nameserver round trip.
+
+Run against the open-resolver population, the distribution of
+``t_first - t_avg`` shows *no* clean separation into two groups — RTT
+variance, partially cached parent zones and resolver-side load smear the two
+populations into one another — so no threshold ``T`` can be chosen and the
+paper abandons the method (and so do we; the negative result is the point of
+Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.measurement.population import OpenResolverSpec
+
+
+@dataclass
+class TimingProbeResult:
+    """Latency measurements for one resolver."""
+
+    resolver: OpenResolverSpec
+    t_first: float
+    t_avg: float
+    actually_cached: bool
+
+    @property
+    def latency_difference(self) -> float:
+        """The classifier input ``t_first - t_avg`` (seconds)."""
+        return self.t_first - self.t_avg
+
+
+@dataclass
+class TimingSideChannelReport:
+    """Aggregate outcome of the timing study."""
+
+    results: list[TimingProbeResult] = field(default_factory=list)
+
+    def differences_ms(self) -> np.ndarray:
+        """All latency differences in milliseconds (the x-axis of Figure 7)."""
+        return np.array([r.latency_difference * 1000.0 for r in self.results])
+
+    def histogram(
+        self, bins: int = 25, value_range: tuple[float, float] = (-50.0, 200.0)
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of latency differences, clipped like the paper's figure."""
+        values = np.clip(self.differences_ms(), value_range[0], value_range[1])
+        return np.histogram(values, bins=bins, range=value_range)
+
+    def best_threshold_accuracy(self) -> tuple[float, float]:
+        """Best achievable classification accuracy over all thresholds.
+
+        Returns ``(threshold_ms, accuracy)``.  The study's conclusion is that
+        the best accuracy stays far from reliable (there is no obvious
+        bimodal split), so the method needs per-resolver calibration and
+        cache eviction — too invasive to run at scale.
+        """
+        if not self.results:
+            return (0.0, 0.0)
+        differences = self.differences_ms()
+        labels = np.array([r.actually_cached for r in self.results])
+        best_threshold, best_accuracy = 0.0, 0.0
+        for threshold in np.linspace(differences.min(), differences.max(), 201):
+            predictions = differences < threshold
+            accuracy = float(np.mean(predictions == labels))
+            if accuracy > best_accuracy:
+                best_threshold, best_accuracy = float(threshold), accuracy
+        return best_threshold, best_accuracy
+
+
+class TimingSideChannelStudy:
+    """Runs the latency-based cache probe over the resolver population."""
+
+    def __init__(
+        self,
+        resolvers: list[OpenResolverSpec],
+        followup_queries: int = 3,
+        jitter: float = 0.025,
+        first_query_overhead: float = 0.03,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.resolvers = resolvers
+        self.followup_queries = followup_queries
+        self.jitter = jitter
+        #: Mean of the exponential extra latency many resolvers add to the
+        #: first query of a burst (connection tracking, cache-miss handling
+        #: of sibling records, load) regardless of caching state — one of the
+        #: confounders that ruin the threshold.
+        self.first_query_overhead = first_query_overhead
+        self.rng = rng or np.random.default_rng(4)
+
+    def probe(self, resolver: OpenResolverSpec) -> TimingProbeResult:
+        """Model the first query plus the follow-up queries to one resolver.
+
+        The first query costs the resolver RTT plus — on a cache miss — the
+        upstream RTT; follow-up queries are cache hits either way.  Every
+        measurement carries jitter; a fraction of resolvers have the *parent*
+        zone cached (which shortens the miss penalty) and many add a
+        first-query processing overhead unrelated to caching.  Together these
+        confounders are what prevent a usable threshold.
+        """
+        cached = resolver.is_ntp_client_resolver()
+        parent_cached = bool(self.rng.random() < 0.5)
+        upstream_penalty = resolver.upstream_rtt * (0.35 if parent_cached else 1.0)
+        noise = lambda: float(self.rng.normal(0.0, self.jitter))  # noqa: E731
+        overhead = float(self.rng.exponential(self.first_query_overhead))
+        t_first = resolver.rtt + (0.0 if cached else upstream_penalty) + overhead + abs(noise())
+        followups = [resolver.rtt + abs(noise()) for _ in range(self.followup_queries)]
+        return TimingProbeResult(
+            resolver=resolver,
+            t_first=t_first,
+            t_avg=float(np.mean(followups)),
+            actually_cached=cached,
+        )
+
+    def run(self) -> TimingSideChannelReport:
+        """Probe every responding resolver and collect the distribution."""
+        report = TimingSideChannelReport()
+        for resolver in self.resolvers:
+            if not resolver.responds:
+                continue
+            report.results.append(self.probe(resolver))
+        return report

@@ -1,0 +1,50 @@
+"""Packet capture hooks for tests and for on-path (MitM) attacker models.
+
+Captures attach to the :class:`~repro.netsim.network.Network`.  An *off-path*
+attacker — the threat model of the paper — must never be given a capture;
+tests assert this by checking that the attack code succeeds without reading
+any captured victim traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.packet import IPv4Packet
+
+#: Predicate deciding whether a packet is recorded.
+CaptureFilter = Callable[[IPv4Packet], bool]
+
+
+@dataclass
+class CapturedPacket:
+    """One packet observed on the wire, with its delivery timestamp."""
+
+    time: float
+    packet: IPv4Packet
+
+
+@dataclass
+class PacketCapture:
+    """Records packets traversing the network, optionally filtered."""
+
+    name: str = "capture"
+    capture_filter: Optional[CaptureFilter] = None
+    packets: list[CapturedPacket] = field(default_factory=list)
+
+    def observe(self, packet: IPv4Packet, time: float) -> None:
+        """Record one packet if it passes the filter."""
+        if self.capture_filter is None or self.capture_filter(packet):
+            self.packets.append(CapturedPacket(time, packet))
+
+    def between(self, src: str, dst: str) -> list[CapturedPacket]:
+        """Return captured packets from ``src`` to ``dst``."""
+        return [c for c in self.packets if c.packet.src == src and c.packet.dst == dst]
+
+    def clear(self) -> None:
+        """Drop all recorded packets."""
+        self.packets.clear()
+
+    def __len__(self) -> int:
+        return len(self.packets)

@@ -1,0 +1,69 @@
+"""Ones'-complement arithmetic used by IPv4, UDP and ICMP checksums.
+
+The UDP checksum is the central obstacle the off-path attacker must clear in
+the fragment-replacement attack of the paper (section III-3): the checksum
+value lives in the *first* fragment, which the attacker cannot modify, so the
+attacker must craft a second fragment whose ones'-complement sum equals the
+sum of the original second fragment.  These helpers implement the arithmetic
+exactly as RFC 1071 specifies so that the "checksum fixing" code in
+:mod:`repro.core.checksum_fix` operates on real numbers rather than a mock.
+"""
+
+from __future__ import annotations
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """Return the 16-bit ones'-complement sum of ``data``.
+
+    Odd-length inputs are padded with a zero byte, as RFC 1071 requires.
+    The result is folded so that it fits in 16 bits.
+    """
+    if len(data) % 2 == 1:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    return fold_carries(total)
+
+
+def fold_carries(total: int) -> int:
+    """Fold carries above 16 bits back into the low 16 bits."""
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """Return the Internet checksum (RFC 1071) of ``data``.
+
+    This is the ones'-complement of the ones'-complement sum.  A checksum of
+    zero is transmitted as ``0xFFFF`` by UDP (zero means "no checksum"); that
+    substitution is handled by the UDP layer, not here.
+    """
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def add_ones_complement(left: int, right: int) -> int:
+    """Add two 16-bit values using ones'-complement addition."""
+    return fold_carries((left & 0xFFFF) + (right & 0xFFFF))
+
+
+def sub_ones_complement(left: int, right: int) -> int:
+    """Subtract ``right`` from ``left`` using ones'-complement arithmetic.
+
+    Subtraction is addition of the ones'-complement (bit inverse) of the
+    subtrahend.  This is the operation the attacker uses to compute the
+    correction that must be applied to the sacrificial bytes of the spoofed
+    second fragment.
+    """
+    return add_ones_complement(left, (~right) & 0xFFFF)
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True when ``data`` (which embeds its checksum field) verifies.
+
+    For a packet whose checksum field already contains the transmitted
+    checksum, the ones'-complement sum over the whole packet must be
+    ``0xFFFF``.
+    """
+    return ones_complement_sum(data) == 0xFFFF

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the network simulator."""
+
+
+class NetSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class AddressError(NetSimError):
+    """An IPv4 address string or integer was malformed."""
+
+
+class PacketError(NetSimError):
+    """A packet could not be encoded or decoded."""
+
+
+class FragmentationError(NetSimError):
+    """Fragmentation or reassembly failed (bad offsets, MTU too small...)."""
+
+
+class ChecksumError(NetSimError):
+    """A checksum did not verify on receive."""
+
+
+class PortInUseError(NetSimError):
+    """A UDP port is already bound on the host."""
+
+
+class NoRouteError(NetSimError):
+    """The network has no route/link able to deliver a packet."""
+
+
+class SimulationError(NetSimError):
+    """The event loop was used incorrectly (e.g. scheduling in the past)."""

@@ -1,0 +1,121 @@
+"""IPv4 fragmentation and reassembly.
+
+Fragmentation happens on the sending host when a packet exceeds the path MTU
+recorded for the destination (the attacker lowers this MTU with a spoofed
+ICMP "fragmentation needed" message).  Reassembly happens in the receiving
+host's :class:`~repro.netsim.defrag.DefragmentationCache`.
+
+The functions here are pure: they take and return :class:`IPv4Packet`
+objects, and the fragment payload boundaries follow the wire rules (all
+fragments except the last carry a multiple of 8 payload bytes).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.errors import FragmentationError
+from repro.netsim.packet import IPV4_HEADER_LEN, IPv4Packet
+
+#: The absolute minimum MTU the paper's predecessor attack relied upon.
+MINIMUM_IPV4_MTU = 68
+
+
+def fragment_packet(packet: IPv4Packet, mtu: int) -> list[IPv4Packet]:
+    """Split ``packet`` into fragments that fit within ``mtu`` bytes each.
+
+    Returns a list with a single element (the original packet) when no
+    fragmentation is needed.  Raises :class:`FragmentationError` when the
+    packet needs fragmenting but carries the DF bit, or when the MTU is too
+    small to make progress.
+    """
+    if mtu < MINIMUM_IPV4_MTU:
+        raise FragmentationError(f"MTU {mtu} below IPv4 minimum {MINIMUM_IPV4_MTU}")
+    if packet.total_length <= mtu:
+        return [packet]
+    if packet.dont_fragment:
+        raise FragmentationError("packet needs fragmenting but DF is set")
+
+    max_payload = (mtu - IPV4_HEADER_LEN) & ~0x7  # multiple of 8 bytes
+    if max_payload <= 0:
+        raise FragmentationError(f"MTU {mtu} leaves no room for payload")
+
+    fragments: list[IPv4Packet] = []
+    payload = packet.payload
+    offset_units = packet.fragment_offset
+    position = 0
+    while position < len(payload):
+        chunk = payload[position : position + max_payload]
+        is_last = position + len(chunk) >= len(payload)
+        fragments.append(
+            packet.copy(
+                payload=chunk,
+                fragment_offset=offset_units + position // 8,
+                more_fragments=packet.more_fragments or not is_last,
+            )
+        )
+        position += len(chunk)
+    return fragments
+
+
+def reassemble_fragments(fragments: list[IPv4Packet]) -> IPv4Packet:
+    """Reassemble a complete set of fragments into the original packet.
+
+    The fragments must share the same reassembly key, cover a contiguous
+    byte range starting at offset zero, and include a final fragment with the
+    MF flag clear.  Overlapping fragments are resolved "first fragment wins"
+    for the overlapping region, which matches the behaviour the defrag cache
+    exposes to the poisoning attack (the genuine first fragment always
+    provides the transport header).
+    """
+    if not fragments:
+        raise FragmentationError("no fragments to reassemble")
+    key = fragments[0].fragment_key
+    for fragment in fragments:
+        if fragment.fragment_key != key:
+            raise FragmentationError("fragments do not share a reassembly key")
+
+    ordered = sorted(fragments, key=lambda f: f.fragment_offset)
+    if ordered[0].fragment_offset != 0:
+        raise FragmentationError("missing first fragment")
+    if ordered[-1].more_fragments:
+        raise FragmentationError("missing last fragment")
+
+    payload = bytearray()
+    expected_offset = 0
+    for fragment in ordered:
+        start = fragment.fragment_offset * 8
+        if start > expected_offset:
+            raise FragmentationError(
+                f"hole in fragment train at byte {expected_offset}"
+            )
+        if start < expected_offset:
+            # Overlap: keep the earlier data, append only the new tail.
+            overlap = expected_offset - start
+            if overlap >= len(fragment.payload):
+                continue
+            payload.extend(fragment.payload[overlap:])
+        else:
+            payload.extend(fragment.payload)
+        expected_offset = max(expected_offset, start + len(fragment.payload))
+
+    template = ordered[0]
+    return template.copy(
+        payload=bytes(payload),
+        more_fragments=False,
+        fragment_offset=0,
+    )
+
+
+def fragments_complete(fragments: list[IPv4Packet]) -> bool:
+    """Return True when ``fragments`` form a gap-free train with a last fragment."""
+    if not fragments:
+        return False
+    ordered = sorted(fragments, key=lambda f: f.fragment_offset)
+    if ordered[0].fragment_offset != 0 or ordered[-1].more_fragments:
+        return False
+    covered = 0
+    for fragment in ordered:
+        start = fragment.fragment_offset * 8
+        if start > covered:
+            return False
+        covered = max(covered, start + len(fragment.payload))
+    return True

@@ -1,0 +1,145 @@
+"""The network fabric: hosts, links, delivery, and off-path injection.
+
+The network delivers IPv4 packets between registered hosts with a per-link
+latency and optional loss probability.  Two interfaces matter for the threat
+model of the paper:
+
+* :meth:`Network.inject` lets an *off-path* attacker put arbitrary packets —
+  including packets with spoofed source addresses — onto the wire.  The
+  attacker never receives a :class:`~repro.netsim.capture.PacketCapture`, so
+  it cannot observe traffic between the victim resolver and the nameservers;
+  everything it knows it must learn by querying the servers itself.
+* :meth:`Network.attach_capture` gives tests (and explicit MitM baselines)
+  visibility into delivered traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netsim.capture import PacketCapture
+from repro.netsim.errors import NoRouteError
+from repro.netsim.host import Host, OSProfile
+from repro.netsim.ipid import IPIDAllocator
+from repro.netsim.packet import IPv4Packet
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class Link:
+    """Delivery parameters between a pair of hosts (symmetric)."""
+
+    latency: float = 0.01
+    loss_probability: float = 0.0
+    mtu: int = 1500
+
+
+class Network:
+    """A set of hosts plus the rules for moving packets between them."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        default_latency: float = 0.01,
+        default_loss: float = 0.0,
+    ) -> None:
+        self.simulator = simulator
+        self.default_link = Link(latency=default_latency, loss_probability=default_loss)
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[frozenset[str], Link] = {}
+        self._captures: list[PacketCapture] = []
+        self._rng = simulator.spawn_rng()
+        self.packets_transmitted = 0
+        self.packets_dropped = 0
+
+    # ---------------------------------------------------------------- hosts
+    def add_host(
+        self,
+        name: str,
+        ip: str,
+        profile: Optional[OSProfile] = None,
+        ipid_allocator: Optional[IPIDAllocator] = None,
+        interface_mtu: int = 1500,
+    ) -> Host:
+        """Create a host, register it under its IP address, and return it."""
+        if ip in self._hosts:
+            raise NoRouteError(f"address {ip} already registered")
+        host = Host(
+            name=name,
+            ip=ip,
+            network=self,
+            profile=profile,
+            ipid_allocator=ipid_allocator,
+            interface_mtu=interface_mtu,
+        )
+        self._hosts[ip] = host
+        return host
+
+    def host(self, ip: str) -> Host:
+        """Look up the host registered at ``ip``."""
+        if ip not in self._hosts:
+            raise NoRouteError(f"no host at {ip}")
+        return self._hosts[ip]
+
+    def has_host(self, ip: str) -> bool:
+        """True when a host is registered at ``ip``."""
+        return ip in self._hosts
+
+    def hosts(self) -> list[Host]:
+        """All registered hosts."""
+        return list(self._hosts.values())
+
+    # ---------------------------------------------------------------- links
+    def set_link(self, ip_a: str, ip_b: str, link: Link) -> None:
+        """Override delivery parameters between two addresses."""
+        self._links[frozenset((ip_a, ip_b))] = link
+
+    def link_between(self, ip_a: str, ip_b: str) -> Link:
+        """The link used between two addresses (default if not overridden)."""
+        return self._links.get(frozenset((ip_a, ip_b)), self.default_link)
+
+    # ------------------------------------------------------------- captures
+    def attach_capture(self, capture: PacketCapture) -> None:
+        """Attach a capture that observes every delivered packet."""
+        self._captures.append(capture)
+
+    def detach_capture(self, capture: PacketCapture) -> None:
+        """Remove a previously attached capture."""
+        self._captures.remove(capture)
+
+    # ------------------------------------------------------------- delivery
+    def transmit(self, packet: IPv4Packet) -> None:
+        """Deliver a packet from its (claimed) source to its destination.
+
+        Packets addressed to unknown destinations are silently dropped, like
+        the real Internet does for unrouted addresses.
+        """
+        self.packets_transmitted += 1
+        if packet.dst not in self._hosts:
+            self.packets_dropped += 1
+            return
+        link = self.link_between(packet.src, packet.dst)
+        if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
+            self.packets_dropped += 1
+            return
+        destination = self._hosts[packet.dst]
+        for capture in self._captures:
+            capture.observe(packet, self.simulator.now)
+        self.simulator.schedule(
+            link.latency,
+            lambda: destination.receive(packet),
+            label=f"deliver {packet.src}->{packet.dst}",
+        )
+
+    def inject(self, packet: IPv4Packet, mark_spoofed: bool = True) -> None:
+        """Off-path injection of a (typically source-spoofed) packet.
+
+        The packet is delivered exactly like normal traffic; ``mark_spoofed``
+        tags it so tests and the defragmentation cache can count how often a
+        spoofed fragment ends up in a reassembled packet.  The tag models
+        ground truth available to the experimenter, not to the victim.
+        """
+        if mark_spoofed:
+            packet.metadata.setdefault("spoofed", True)
+        self.transmit(packet)

@@ -1,0 +1,170 @@
+"""Discrete-event simulation core.
+
+A single :class:`Simulator` instance drives every experiment: hosts, links,
+DNS resolvers, NTP clients, attackers and measurement scanners all schedule
+callbacks on the same virtual clock.  Time is a float measured in seconds.
+
+The event loop is deliberately small: a heap of ``(time, sequence, Event)``
+tuples, where the monotonically increasing sequence number makes ordering of
+same-time events deterministic (first scheduled, first executed).  All
+randomness in the simulation flows through the simulator's seeded
+``numpy.random.Generator`` so runs are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.netsim.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that the heap pops them in
+    chronological order and, within the same instant, in scheduling order.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The discrete-event loop shared by every simulated component.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random generator.  Components that need
+        their own stream should call :meth:`spawn_rng` so their draws do not
+        perturb each other when the topology changes.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._rng = np.random.default_rng(seed)
+        self._seed = seed
+        self._spawned = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The simulation-wide random number generator."""
+        return self._rng
+
+    def spawn_rng(self) -> np.random.Generator:
+        """Return an independent random generator derived from the seed.
+
+        Each call returns a new stream; components store their own stream so
+        that adding one component does not shift the random draws of another.
+        """
+        self._spawned += 1
+        return np.random.default_rng((self._seed, self._spawned))
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which can be cancelled.  Negative delays
+        are rejected because they would break causality.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})"
+            )
+        event = Event(when, next(self._sequence), callback, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def step(self) -> Optional[Event]:
+        """Process the next event, returning it, or None if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self.events_processed += 1
+            return event
+        return None
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this absolute time.  Events at a
+            later time remain queued; the clock is advanced to ``until``.
+        max_events:
+            Safety valve for tests: stop after this many events.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                break
+            if self.step() is not None:
+                processed += 1
+        if until is not None and not self._queue:
+            self._now = max(self._now, until)
+        return processed
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run the loop for ``duration`` simulated seconds from now."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def advance(self, duration: float) -> None:
+        """Advance the clock without processing events (test helper)."""
+        if duration < 0:
+            raise SimulationError("cannot advance backwards")
+        target = self._now + duration
+        self.run(until=target)
+        self._now = max(self._now, target)

@@ -1,0 +1,97 @@
+"""UDP datagrams with real RFC 768 checksums.
+
+The checksum is computed over the IPv4 pseudo-header (source address,
+destination address, protocol, UDP length) plus the UDP header and payload.
+Because the checksum field travels in the *first* fragment of a fragmented
+datagram, an off-path attacker who replaces the second fragment must craft
+its payload so the overall ones'-complement sum is unchanged — the core
+arithmetic trick of the paper's poisoning primitive.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.netsim.addresses import ip_to_int
+from repro.netsim.checksum import internet_checksum
+from repro.netsim.errors import PacketError
+
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UDPDatagram:
+    """A UDP datagram (header fields plus application payload)."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"UDP port out of range: {port}")
+
+    @property
+    def length(self) -> int:
+        """The UDP length field (header plus payload)."""
+        return UDP_HEADER_LEN + len(self.payload)
+
+
+def _pseudo_header(src_ip: str, dst_ip: str, udp_length: int) -> bytes:
+    """The IPv4 pseudo-header included in the UDP checksum."""
+    return struct.pack(
+        "!4s4sBBH",
+        ip_to_int(src_ip).to_bytes(4, "big"),
+        ip_to_int(dst_ip).to_bytes(4, "big"),
+        0,
+        17,
+        udp_length,
+    )
+
+
+def udp_checksum(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> int:
+    """Compute the UDP checksum for a datagram between two IPv4 addresses."""
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, 0
+    )
+    checksum = internet_checksum(
+        _pseudo_header(src_ip, dst_ip, datagram.length) + header + datagram.payload
+    )
+    # RFC 768: a computed checksum of zero is transmitted as all ones.
+    return checksum if checksum != 0 else 0xFFFF
+
+
+def encode_udp(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> bytes:
+    """Encode a datagram (header + payload) with its checksum filled in."""
+    checksum = udp_checksum(src_ip, dst_ip, datagram)
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, checksum
+    )
+    return header + datagram.payload
+
+
+def decode_udp(
+    src_ip: str, dst_ip: str, data: bytes, verify: bool = True
+) -> UDPDatagram:
+    """Decode UDP bytes, optionally verifying length and checksum.
+
+    Raises :class:`PacketError` when the datagram is truncated, its length
+    field disagrees with the data, or (when ``verify`` is true) the checksum
+    does not match.  The checksum rejection path is exactly what defeats a
+    naive fragment-replacement attack that does not fix the checksum.
+    """
+    if len(data) < UDP_HEADER_LEN:
+        raise PacketError("truncated UDP header")
+    src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
+    if length != len(data):
+        raise PacketError(f"UDP length mismatch: field={length}, actual={len(data)}")
+    datagram = UDPDatagram(src_port, dst_port, data[UDP_HEADER_LEN:])
+    if verify and checksum != 0:
+        expected = udp_checksum(src_ip, dst_ip, datagram)
+        if expected != checksum:
+            raise PacketError(
+                f"UDP checksum mismatch: expected {expected:#06x}, got {checksum:#06x}"
+            )
+    return datagram

@@ -1,0 +1,80 @@
+"""NTP substrate: packets, clocks, servers, the pool, client models and Chronos.
+
+The package models the pieces of the NTP ecosystem the paper attacks:
+
+* the wire protocol (48-byte mode 3/4 packets, Kiss-o'-Death responses),
+* system clocks that can be slewed or stepped, so a successful attack shows
+  up as a measurable offset from true (simulated) time,
+* NTP servers with the reference rate-limiting behaviour that the run-time
+  attack abuses (spoofed client queries make the server stop answering the
+  real client),
+* a synthetic ``pool.ntp.org`` population whose rate-limiting prevalence is
+  a parameter (the paper measured 38 %),
+* behavioural models of the popular client implementations in Table I
+  (ntpd, chrony, openntpd, ntpdate, systemd-timesyncd, Android SNTP,
+  ntpclient), differing in how many associations they keep and when they
+  issue DNS queries, and
+* a Chronos-enhanced client with the hourly pool-generation procedure and
+  the Byzantine-tolerant sample-selection algorithm from the proposal.
+"""
+
+from repro.ntp.timestamps import NTPTimestamp, NTP_UNIX_EPOCH_DELTA
+from repro.ntp.packet import NTPPacket, NTPMode, KissCode, NTP_PORT
+from repro.ntp.clock import SystemClock
+from repro.ntp.rate_limit import RateLimiter, RateLimitDecision
+from repro.ntp.association import Association, AssociationState
+from repro.ntp.server import NTPServer, NTPServerConfig
+from repro.ntp.pool import PoolPopulation, PoolServerSpec, build_pool_population
+from repro.ntp.clients import (
+    BaseNTPClient,
+    NTPClientConfig,
+    NtpdClient,
+    ChronyClient,
+    OpenNTPDClient,
+    NtpdateClient,
+    SystemdTimesyncdClient,
+    AndroidSNTPClient,
+    NtpclientClient,
+    CLIENT_REGISTRY,
+)
+from repro.ntp.chronos import (
+    ChronosClient,
+    ChronosConfig,
+    ChronosPoolGenerator,
+    chronos_select,
+    ChronosSelectionResult,
+)
+
+__all__ = [
+    "NTPTimestamp",
+    "NTP_UNIX_EPOCH_DELTA",
+    "NTPPacket",
+    "NTPMode",
+    "KissCode",
+    "NTP_PORT",
+    "SystemClock",
+    "RateLimiter",
+    "RateLimitDecision",
+    "Association",
+    "AssociationState",
+    "NTPServer",
+    "NTPServerConfig",
+    "PoolPopulation",
+    "PoolServerSpec",
+    "build_pool_population",
+    "BaseNTPClient",
+    "NTPClientConfig",
+    "NtpdClient",
+    "ChronyClient",
+    "OpenNTPDClient",
+    "NtpdateClient",
+    "SystemdTimesyncdClient",
+    "AndroidSNTPClient",
+    "NtpclientClient",
+    "CLIENT_REGISTRY",
+    "ChronosClient",
+    "ChronosConfig",
+    "ChronosPoolGenerator",
+    "chronos_select",
+    "ChronosSelectionResult",
+]

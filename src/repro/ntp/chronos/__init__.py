@@ -1,0 +1,25 @@
+"""Chronos-enhanced NTP client (Deutsch et al., NDSS 2018 / IETF draft).
+
+Chronos strengthens NTP against MitM attackers by sampling time from a large
+pool of servers and running a Byzantine-tolerant selection over the samples.
+The package implements the three pieces the paper's analysis targets:
+
+* :mod:`pool_generation` — the hourly DNS queries over 24 hours that build
+  the server pool (the attack's entry point, section VI),
+* :mod:`selection` — the sample-filtering algorithm (drop the top and bottom
+  thirds, require agreement, panic otherwise), and
+* :mod:`client` — the client tying both together on top of the simulator.
+"""
+
+from repro.ntp.chronos.pool_generation import ChronosPoolGenerator, PoolGenerationConfig
+from repro.ntp.chronos.selection import chronos_select, ChronosSelectionResult
+from repro.ntp.chronos.client import ChronosClient, ChronosConfig
+
+__all__ = [
+    "ChronosPoolGenerator",
+    "PoolGenerationConfig",
+    "chronos_select",
+    "ChronosSelectionResult",
+    "ChronosClient",
+    "ChronosConfig",
+]

@@ -1,0 +1,196 @@
+"""The Chronos-enhanced NTP client.
+
+The client builds its server pool with :class:`ChronosPoolGenerator`, then
+every poll interval samples a random subset of the pool, measures offsets
+with ordinary mode 3/4 exchanges, and feeds the samples to
+:func:`chronos_select`.  Failed rounds are retried with fresh subsets; after
+``max_retries`` failures the client enters panic mode and queries the whole
+pool.  Only the NTP *client* changes — servers are untouched — which is what
+made Chronos attractive for deployment and also what leaves its DNS-based
+pool generation unprotected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dns.stub import StubResolver
+from repro.netsim.host import Host
+from repro.netsim.simulator import Simulator
+from repro.ntp.chronos.pool_generation import ChronosPoolGenerator, PoolGenerationConfig
+from repro.ntp.chronos.selection import chronos_select, panic_select
+from repro.ntp.clock import SystemClock
+from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
+
+
+@dataclass
+class ChronosConfig:
+    """Parameters of the Chronos client."""
+
+    pool_generation: PoolGenerationConfig = field(default_factory=PoolGenerationConfig)
+    servers_per_round: int = 15
+    poll_interval: float = 300.0
+    response_timeout: float = 2.0
+    agreement_bound: float = 0.025
+    drift_bound: float = 0.125
+    max_retries: int = 3
+    step_threshold: float = 0.128
+
+
+@dataclass
+class ChronosStats:
+    """Counters describing the client's behaviour."""
+
+    rounds: int = 0
+    accepted_rounds: int = 0
+    rejected_rounds: int = 0
+    panic_rounds: int = 0
+    samples_collected: int = 0
+    steps_applied: int = 0
+
+
+class ChronosClient:
+    """A Chronos client running on a simulated host."""
+
+    client_name = "chronos"
+
+    def __init__(
+        self,
+        host: Host,
+        simulator: Simulator,
+        resolver_ip: str,
+        config: Optional[ChronosConfig] = None,
+        initial_clock_offset: float = 0.0,
+        name: str = "chronos",
+    ) -> None:
+        self.host = host
+        self.simulator = simulator
+        self.config = config or ChronosConfig()
+        self.name = name
+        self.clock = SystemClock(offset=initial_clock_offset, created_at=simulator.now)
+        self.stub = StubResolver(host, simulator, resolver_ip)
+        self.stats = ChronosStats()
+        self.pool_generator = ChronosPoolGenerator(
+            self.stub, simulator, self.config.pool_generation
+        )
+        self._rng = simulator.spawn_rng()
+        self.socket = host.bind(0, self._on_packet)
+        self._round_samples: dict[str, float] = {}
+        self._round_pending: set[str] = set()
+        self._round_retries = 0
+        self._round_panic = False
+        self.started = False
+
+    # ------------------------------------------------------------------ run
+    def start(self, start_polling_after: Optional[float] = None) -> None:
+        """Start pool generation and schedule the first polling round.
+
+        By default polling starts once the pool-generation period has
+        elapsed; passing ``start_polling_after`` lets experiments poll
+        earlier, against the partially generated pool.
+        """
+        if self.started:
+            return
+        self.started = True
+        self.pool_generator.start()
+        generation_time = (
+            self.config.pool_generation.lookup_interval
+            * self.config.pool_generation.total_lookups
+        )
+        delay = generation_time if start_polling_after is None else start_polling_after
+        self.simulator.schedule(delay, self._poll_round, label=f"{self.name} round")
+
+    def pool(self) -> set[str]:
+        """The server pool gathered so far."""
+        return self.pool_generator.pool()
+
+    # ---------------------------------------------------------------- rounds
+    def _poll_round(self, panic: bool = False, retries: int = 0) -> None:
+        if not self.started:
+            return
+        pool = sorted(self.pool())
+        if not pool:
+            self.simulator.schedule(self.config.poll_interval, self._poll_round)
+            return
+        self.stats.rounds += 1
+        if panic:
+            self.stats.panic_rounds += 1
+            targets = pool
+        else:
+            count = min(self.config.servers_per_round, len(pool))
+            indices = self._rng.choice(len(pool), size=count, replace=False)
+            targets = [pool[int(i)] for i in indices]
+
+        self._round_samples = {}
+        self._round_pending = set(targets)
+        self._round_panic = panic
+        self._round_retries = retries
+        for server_ip in targets:
+            query = NTPPacket.client_query(self.clock.time(self.simulator.now))
+            self.socket.sendto(query.encode(), server_ip, NTP_PORT)
+        self.simulator.schedule(
+            self.config.response_timeout, self._finish_round, label=f"{self.name} round-end"
+        )
+
+    def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
+        try:
+            packet = NTPPacket.decode(payload)
+        except ValueError:
+            return
+        if packet.mode is not NTPMode.SERVER or packet.is_kiss_of_death:
+            return
+        if src_ip not in self._round_pending:
+            return
+        self._round_pending.discard(src_ip)
+        offset = packet.transmit_timestamp.to_unix() - self.clock.time(self.simulator.now)
+        self._round_samples[src_ip] = offset
+        self.stats.samples_collected += 1
+
+    def _finish_round(self) -> None:
+        samples = list(self._round_samples.values())
+        if self._round_panic:
+            offset = panic_select(samples)
+            self._apply(offset)
+            self._schedule_next_round()
+            return
+
+        result = chronos_select(
+            samples,
+            local_offset_estimate=0.0,
+            agreement_bound=self.config.agreement_bound,
+            drift_bound=self.config.drift_bound,
+        )
+        if result.accepted:
+            self.stats.accepted_rounds += 1
+            self._apply(result.offset)
+            self._schedule_next_round()
+            return
+
+        self.stats.rejected_rounds += 1
+        if self._round_retries + 1 >= self.config.max_retries:
+            self._poll_round(panic=True)
+        else:
+            self._poll_round(panic=False, retries=self._round_retries + 1)
+
+    def _schedule_next_round(self) -> None:
+        self.simulator.schedule(
+            self.config.poll_interval, self._poll_round, label=f"{self.name} round"
+        )
+
+    def _apply(self, offset: float) -> None:
+        now = self.simulator.now
+        if abs(offset) <= self.config.step_threshold:
+            self.clock.slew(offset * 0.5, now)
+        else:
+            self.clock.step(offset, now)
+            self.stats.steps_applied += 1
+
+    # ------------------------------------------------------------ inspection
+    def clock_error(self) -> float:
+        """Signed clock error versus true (simulated) time."""
+        return self.clock.error(self.simulator.now)
+
+    def attacker_fraction(self, attacker_addresses: set[str]) -> float:
+        """Fraction of the generated pool under attacker control."""
+        return self.pool_generator.attacker_fraction(attacker_addresses)

@@ -1,0 +1,121 @@
+"""Chronos server-pool generation — the achilles heel the paper attacks.
+
+The Chronos proposal builds its server pool by querying ``pool.ntp.org``
+once an hour for 24 hours and taking the union of all returned addresses
+(about ``24 x 4 = 96`` servers).  Two weaknesses called out in the paper
+(section VI-A/B) are visible in this implementation:
+
+* the lookups happen on a predictable hourly schedule, and
+* nothing bounds the *influence of a single DNS response*: neither the TTL
+  nor the number of addresses in a response is checked, so one poisoned
+  response can contribute up to 89 attacker addresses and, with a TTL longer
+  than the remaining generation period, cause every subsequent lookup to be
+  answered from cache with the same poisoned set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dns.stub import ResolutionResult, StubResolver
+from repro.netsim.simulator import Simulator
+
+
+@dataclass
+class PoolGenerationConfig:
+    """Parameters of the pool-generation procedure."""
+
+    pool_domain: str = "pool.ntp.org"
+    lookup_interval: float = 3600.0
+    total_lookups: int = 24
+    #: Hardening knobs (both disabled in the original proposal; the paper
+    #: recommends them as mitigations).  ``max_addresses_per_response``
+    #: bounds how many addresses a single response may contribute;
+    #: ``max_accepted_ttl`` rejects responses whose TTL exceeds the value.
+    max_addresses_per_response: Optional[int] = None
+    max_accepted_ttl: Optional[int] = None
+
+
+@dataclass
+class PoolGenerationState:
+    """Observable state of the generation process."""
+
+    lookups_done: int = 0
+    addresses: set[str] = field(default_factory=set)
+    per_lookup_counts: list[int] = field(default_factory=list)
+    rejected_responses: int = 0
+    finished: bool = False
+
+
+class ChronosPoolGenerator:
+    """Runs the hourly pool-generation lookups on the simulator."""
+
+    def __init__(
+        self,
+        stub: StubResolver,
+        simulator: Simulator,
+        config: Optional[PoolGenerationConfig] = None,
+        on_finished: Optional[Callable[[set[str]], None]] = None,
+    ) -> None:
+        self.stub = stub
+        self.simulator = simulator
+        self.config = config or PoolGenerationConfig()
+        self.on_finished = on_finished
+        self.state = PoolGenerationState()
+        self._started = False
+
+    def start(self, first_delay: float = 0.0) -> None:
+        """Begin the generation process (first lookup after ``first_delay``)."""
+        if self._started:
+            return
+        self._started = True
+        self.simulator.schedule(first_delay, self._do_lookup, label="chronos-pool-lookup")
+
+    def _do_lookup(self) -> None:
+        if self.state.finished:
+            return
+        self.stub.resolve(self.config.pool_domain, self._on_result)
+
+    def _on_result(self, result: ResolutionResult) -> None:
+        self.state.lookups_done += 1
+        added = 0
+        if result.ok and self._accept(result):
+            addresses = result.addresses
+            if self.config.max_addresses_per_response is not None:
+                addresses = addresses[: self.config.max_addresses_per_response]
+            before = len(self.state.addresses)
+            self.state.addresses.update(addresses)
+            added = len(self.state.addresses) - before
+        elif result.ok:
+            self.state.rejected_responses += 1
+        self.state.per_lookup_counts.append(added)
+
+        if self.state.lookups_done >= self.config.total_lookups:
+            self.state.finished = True
+            if self.on_finished is not None:
+                self.on_finished(set(self.state.addresses))
+            return
+        self.simulator.schedule(
+            self.config.lookup_interval, self._do_lookup, label="chronos-pool-lookup"
+        )
+
+    def _accept(self, result: ResolutionResult) -> bool:
+        """Apply the (optional) hardening checks to one DNS response."""
+        if self.config.max_accepted_ttl is not None:
+            ttls = result.ttls()
+            if ttls and max(ttls) > self.config.max_accepted_ttl:
+                return False
+        return True
+
+    # ----------------------------------------------------------- inspection
+    def pool(self) -> set[str]:
+        """The addresses gathered so far."""
+        return set(self.state.addresses)
+
+    def attacker_fraction(self, attacker_addresses: set[str]) -> float:
+        """Fraction of the gathered pool controlled by the attacker."""
+        if not self.state.addresses:
+            return 0.0
+        controlled = len(self.state.addresses & attacker_addresses)
+        return controlled / len(self.state.addresses)

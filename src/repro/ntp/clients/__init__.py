@@ -1,0 +1,44 @@
+"""Behavioural models of popular NTP client implementations.
+
+Each class models the *association management* and *DNS lookup* behaviour of
+one implementation from Table I of the paper — the behaviours that determine
+whether boot-time and run-time attacks apply and how long they take — rather
+than porting the original C code.  All share :class:`BaseNTPClient`, which
+implements polling, reachability tracking, clock discipline and the DNS
+(re-)query machinery; subclasses differ only in their configuration and in a
+few hooks (e.g. systemd-timesyncd's cached server list).
+"""
+
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig, ClientStats
+from repro.ntp.clients.ntpd import NtpdClient
+from repro.ntp.clients.chrony import ChronyClient
+from repro.ntp.clients.openntpd import OpenNTPDClient
+from repro.ntp.clients.ntpdate import NtpdateClient
+from repro.ntp.clients.systemd import SystemdTimesyncdClient
+from repro.ntp.clients.android import AndroidSNTPClient
+from repro.ntp.clients.ntpclient import NtpclientClient
+
+#: Registry of client models keyed by the name used in Table I.
+CLIENT_REGISTRY = {
+    "ntpd": NtpdClient,
+    "openntpd": OpenNTPDClient,
+    "chrony": ChronyClient,
+    "ntpdate": NtpdateClient,
+    "android": AndroidSNTPClient,
+    "ntpclient": NtpclientClient,
+    "systemd-timesyncd": SystemdTimesyncdClient,
+}
+
+__all__ = [
+    "BaseNTPClient",
+    "NTPClientConfig",
+    "ClientStats",
+    "NtpdClient",
+    "ChronyClient",
+    "OpenNTPDClient",
+    "NtpdateClient",
+    "SystemdTimesyncdClient",
+    "AndroidSNTPClient",
+    "NtpclientClient",
+    "CLIENT_REGISTRY",
+]

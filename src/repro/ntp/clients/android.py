@@ -1,0 +1,68 @@
+"""Model of the Android platform SNTP client (``NtpTrustedTime``).
+
+Android's built-in client performs a *fresh hostname resolution for every
+synchronisation attempt* (the platform code always calls the SNTP client
+with a hostname), so every NTP query is preceded by a DNS lookup unless a
+local cache answers it.  That makes the client attackable whenever the
+poisoned record is in the resolver's cache — effectively a recurring
+boot-time attack (paper section V-A2).  The paper could not test physical
+devices (all used the mobile network for time), so this model follows the
+platform source code's behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.ntp.association import AssociationState
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class AndroidSNTPClient(BaseNTPClient):
+    """The Android SNTP behavioural model (DNS lookup on every sync)."""
+
+    client_name = "android"
+    pool_usage_share = 0.140
+    supports_boot_time_attack = True
+    supports_runtime_attack = True
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["2.android.pool.ntp.org"],
+            desired_associations=1,
+            min_associations=1,
+            max_associations=1,
+            poll_interval=3600.0,
+            unreachable_after=3,
+            runtime_dns=True,
+            sntp=True,
+            step_threshold=0.0,
+            step_delay=0.0,
+            min_step_samples=1,
+            boot_step_immediately=True,
+            act_as_server=False,
+        )
+
+    def _poll_round(self) -> None:
+        if not self.started:
+            return
+        # Android resolves the hostname before every sync; the association
+        # set is rebuilt from whatever the resolver answers.
+        for association in self.associations.values():
+            if association.state is AssociationState.ACTIVE:
+                association.state = AssociationState.REMOVED
+        self.trigger_runtime_dns()
+        self.simulator.schedule(1.0, self._poll_current, label=f"{self.name} sync")
+        self._schedule_poll()
+
+    def _poll_current(self) -> None:
+        for association in self._poll_targets():
+            self._send_poll(association)
+
+    def trigger_runtime_dns(self) -> None:
+        # Android's lookups are part of its normal sync cycle, so they do not
+        # require the "fell below minimum" condition of the base class.
+        for domain in self._runtime_lookup_domains():
+            self.stats.runtime_dns_lookups += 1
+            self.stub.resolve(
+                domain, lambda result, d=domain: self._on_dns_result(result, d, boot=False)
+            )

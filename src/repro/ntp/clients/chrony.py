@@ -1,0 +1,41 @@
+"""Model of the chrony client.
+
+chrony's default configuration uses a single ``pool`` directive expanding to
+four sources.  When a source becomes unreachable chrony replaces it through a
+new DNS lookup, so *any* removed source triggers the run-time DNS query the
+attack needs (the attacker still has to remove a majority of sources before
+the shifted time wins the source selection).  chrony is more conservative
+than ntpd about large corrections, which is why the measured attack duration
+against chrony (57 minutes) exceeds ntpd's (paper Table II).
+"""
+
+from __future__ import annotations
+
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class ChronyClient(BaseNTPClient):
+    """The chrony behavioural model."""
+
+    client_name = "chrony"
+    pool_usage_share = 0.048
+    supports_boot_time_attack = True
+    supports_runtime_attack = True
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["pool.ntp.org"],
+            desired_associations=4,
+            min_associations=4,
+            max_associations=8,
+            poll_interval=128.0,
+            unreachable_after=10,
+            runtime_dns=True,
+            sntp=False,
+            step_threshold=0.128,
+            step_delay=1200.0,
+            min_step_samples=6,
+            panic_threshold=None,
+            act_as_server=False,
+        )

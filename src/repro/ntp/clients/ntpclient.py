@@ -1,0 +1,40 @@
+"""Model of the minimal ``ntpclient`` utility.
+
+``ntpclient`` (the tiny SNTP client common on embedded systems) resolves its
+server hostname once at start-up and then keeps polling that single address
+for as long as it runs.  It never returns to DNS, so only the boot-time
+attack applies; disrupting its server at run time silently disables time
+synchronisation until the process is restarted (paper section V-A2).
+"""
+
+from __future__ import annotations
+
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class NtpclientClient(BaseNTPClient):
+    """The ntpclient behavioural model (SNTP, DNS at start-up only)."""
+
+    client_name = "ntpclient"
+    pool_usage_share = 0.012
+    supports_boot_time_attack = True
+    supports_runtime_attack = False
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["pool.ntp.org"],
+            desired_associations=1,
+            min_associations=1,
+            max_associations=1,
+            poll_interval=600.0,
+            unreachable_after=8,
+            runtime_dns=False,
+            remove_unreachable=False,
+            sntp=True,
+            step_threshold=0.0,
+            step_delay=0.0,
+            min_step_samples=1,
+            boot_step_immediately=True,
+            act_as_server=False,
+        )

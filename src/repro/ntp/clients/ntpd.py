@@ -1,0 +1,52 @@
+"""Model of the reference ntpd client (NTPsec / ntp.org ntpd).
+
+The behaviours that matter to the paper (section V-B3):
+
+* the default configuration carries four ``pool`` directives, which spawn
+  server associations via DNS until roughly six upstream servers are active
+  (``NTP_MAXCLOCK`` = 10 including the persistent pool associations),
+* new DNS lookups at run time happen only when the number of usable
+  associations drops below ``NTP_MINCLOCK`` = 3, so the run-time attacker
+  must remove ``m - 2 = 4`` servers,
+* ntpd answers mode 3 queries by default, exposing its current system peer
+  in the reference-id field — the leak used by attack scenario P2,
+* large offsets are stepped only after the stepout interval, but the panic
+  threshold (1000 s) is not enforced at boot (``-g``), which is why
+  boot-time attacks can set an arbitrary time.
+"""
+
+from __future__ import annotations
+
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+#: ntpd's compile-time limits (ntp_proto.c), quoted in the paper.
+NTP_MINCLOCK = 3
+NTP_MAXCLOCK = 10
+
+
+class NtpdClient(BaseNTPClient):
+    """The ntpd behavioural model."""
+
+    client_name = "ntpd"
+    pool_usage_share = 0.264
+    supports_boot_time_attack = True
+    supports_runtime_attack = True
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=[f"{i}.pool.ntp.org" for i in range(4)],
+            desired_associations=6,
+            min_associations=NTP_MINCLOCK,
+            max_associations=NTP_MAXCLOCK,
+            poll_interval=64.0,
+            unreachable_after=8,
+            runtime_dns=True,
+            sntp=False,
+            step_threshold=0.128,
+            step_delay=300.0,
+            min_step_samples=4,
+            panic_threshold=1000.0,
+            panic_at_boot=False,
+            act_as_server=True,
+        )

@@ -1,0 +1,45 @@
+"""Model of the one-shot ``ntpdate`` utility.
+
+``ntpdate`` resolves the given hostname, samples the servers a handful of
+times, steps the clock once and exits.  There is no run-time behaviour to
+attack, but because administrators commonly run it from cron, every
+invocation repeats the boot-time attack surface (paper section V-A2).
+"""
+
+from __future__ import annotations
+
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class NtpdateClient(BaseNTPClient):
+    """The ntpdate behavioural model (one-shot SNTP)."""
+
+    client_name = "ntpdate"
+    pool_usage_share = 0.200
+    supports_boot_time_attack = True
+    supports_runtime_attack = False
+
+    #: How long after start the utility stops polling (seconds).
+    run_duration = 16.0
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["pool.ntp.org"],
+            desired_associations=1,
+            min_associations=1,
+            max_associations=4,
+            poll_interval=2.0,
+            unreachable_after=4,
+            runtime_dns=False,
+            sntp=True,
+            step_threshold=0.0,
+            step_delay=0.0,
+            min_step_samples=1,
+            boot_step_immediately=True,
+            act_as_server=False,
+        )
+
+    def start(self) -> None:
+        super().start()
+        self.simulator.schedule(self.run_duration, self.stop, label=f"{self.name} exit")

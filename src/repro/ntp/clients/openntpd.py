@@ -1,0 +1,70 @@
+"""Model of OpenBSD's openntpd client.
+
+openntpd resolves its pool servers *only at start-up*; when servers become
+unreachable at run time it keeps retrying them and never issues a new DNS
+lookup, so the run-time attack does not apply (paper section V-A2) — the
+attacker can only disable synchronisation, not redirect it.  The optional
+HTTPS ``constraint`` mechanism (checking the Date header of a TLS-protected
+web server) can partially authenticate time at boot, but it is disabled by
+default; the model exposes it as ``tls_constraint`` for the countermeasure
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.host import Host
+from repro.netsim.simulator import Simulator
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class OpenNTPDClient(BaseNTPClient):
+    """The openntpd behavioural model."""
+
+    client_name = "openntpd"
+    pool_usage_share = 0.044
+    supports_boot_time_attack = True
+    supports_runtime_attack = False
+
+    def __init__(
+        self,
+        host: Host,
+        simulator: Simulator,
+        resolver_ip: str,
+        config: Optional[NTPClientConfig] = None,
+        tls_constraint: bool = False,
+        constraint_tolerance: float = 30.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, simulator, resolver_ip, config, **kwargs)
+        #: When enabled, offsets that contradict the (authentic) HTTPS Date
+        #: header by more than the tolerance are rejected.
+        self.tls_constraint = tls_constraint
+        self.constraint_tolerance = constraint_tolerance
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["pool.ntp.org"],
+            desired_associations=4,
+            min_associations=1,
+            max_associations=8,
+            poll_interval=90.0,
+            unreachable_after=8,
+            runtime_dns=False,
+            remove_unreachable=False,
+            sntp=False,
+            step_threshold=0.128,
+            step_delay=600.0,
+            min_step_samples=4,
+            act_as_server=False,
+        )
+
+    def _apply_step(self, offset: float, now: float) -> None:
+        if self.tls_constraint and abs(offset) > self.constraint_tolerance:
+            # The HTTPS constraint (coarse, second-granularity) contradicts
+            # the proposed step, so openntpd refuses it.
+            self.stats.panics += 1
+            return
+        super()._apply_step(offset, now)

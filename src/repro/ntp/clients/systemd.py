@@ -1,0 +1,89 @@
+"""Model of systemd-timesyncd.
+
+systemd-timesyncd is an SNTP client: it synchronises to a *single* server at
+a time.  The behaviours relevant to the attack (paper section V-B3):
+
+* the default configuration names a single pool domain; a DNS lookup
+  normally returns four addresses and timesyncd caches the whole list,
+* when the current server stops answering, timesyncd moves on to the next
+  cached address rather than re-querying DNS; only after all cached
+  addresses failed does it issue a new DNS lookup — so the run-time attacker
+  must remove associations to all four cached servers (probability
+  ``P1(4)``),
+* being an SNTP client, whatever (single) server it ends up using fully
+  determines its clock: once the attacker's server is adopted, the shift is
+  applied without any cross-checking.
+"""
+
+from __future__ import annotations
+
+from repro.ntp.association import Association, AssociationState
+from repro.ntp.clients.base import BaseNTPClient, NTPClientConfig
+
+
+class SystemdTimesyncdClient(BaseNTPClient):
+    """The systemd-timesyncd behavioural model (SNTP with a cached server list)."""
+
+    client_name = "systemd-timesyncd"
+    pool_usage_share = None  # not listed separately in the pool study
+    supports_boot_time_attack = True
+    supports_runtime_attack = True
+
+    @classmethod
+    def default_config(cls) -> NTPClientConfig:
+        return NTPClientConfig(
+            pool_domains=["pool.ntp.org"],
+            desired_associations=1,
+            min_associations=1,
+            max_associations=1,
+            poll_interval=96.0,
+            unreachable_after=12,
+            runtime_dns=True,
+            sntp=True,
+            step_threshold=0.4,
+            step_delay=0.0,
+            min_step_samples=1,
+            boot_step_immediately=True,
+            dns_cached_servers=4,
+            act_as_server=False,
+        )
+
+    def _on_dns_result(self, result, domain: str, boot: bool) -> None:
+        if not result.ok:
+            return
+        self._cached_server_list = list(result.addresses[: self.config.dns_cached_servers])
+        self._use_next_cached_server(domain)
+
+    def _use_next_cached_server(self, domain: str = "") -> None:
+        """Activate the next address from the cached DNS answer, if any."""
+        domain = domain or self.config.pool_domains[0]
+        tried = set(self.associations)
+        for address in self._cached_server_list:
+            if address not in tried or (
+                address in self.associations
+                and self.associations[address].state is AssociationState.ACTIVE
+            ):
+                if address not in self.associations:
+                    self.associations[address] = Association(
+                        server_ip=address,
+                        source_domain=domain,
+                        created_at=self.simulator.now,
+                    )
+                    self.stats.associations_created += 1
+                return
+
+    def _on_unreachable(self, association: Association) -> None:
+        association.state = AssociationState.REMOVED
+        self.stats.associations_removed += 1
+        remaining = [
+            address
+            for address in self._cached_server_list
+            if address not in self.associations
+            or self.associations[address].state is AssociationState.ACTIVE
+        ]
+        if remaining:
+            self._use_next_cached_server()
+        else:
+            # All cached addresses exhausted: only now does timesyncd go back
+            # to DNS, which is the moment the poisoned cache takes effect.
+            self.trigger_runtime_dns()

@@ -1,0 +1,197 @@
+"""NTP packet format (RFC 5905), including Kiss-o'-Death responses.
+
+The reproduction uses client (mode 3) and server (mode 4) packets plus the
+``RATE`` Kiss-o'-Death code that rate-limiting servers send just before they
+stop answering a client.  The ``reference_id`` of a mode 4 packet from a
+stratum-2+ server carries the IPv4 address of its current upstream server,
+which is the information leak the run-time attack's scenario P2 uses to
+discover a victim's associations one at a time (paper section IV-B2b).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.ntp.timestamps import NTPTimestamp
+
+#: Well-known NTP UDP port.
+NTP_PORT = 123
+#: Size of a plain (unauthenticated) NTP packet.
+NTP_PACKET_LEN = 48
+
+
+class NTPMode(IntEnum):
+    """NTP association modes used here."""
+
+    SYMMETRIC_ACTIVE = 1
+    SYMMETRIC_PASSIVE = 2
+    CLIENT = 3
+    SERVER = 4
+    BROADCAST = 5
+    CONTROL = 6
+    PRIVATE = 7
+
+
+class KissCode:
+    """Kiss-o'-Death reference identifiers (RFC 5905 section 7.4)."""
+
+    RATE = "RATE"
+    DENY = "DENY"
+    RSTR = "RSTR"
+
+
+@dataclass
+class NTPPacket:
+    """A 48-byte NTP packet."""
+
+    mode: NTPMode
+    leap: int = 0
+    version: int = 4
+    stratum: int = 2
+    poll: int = 6
+    precision: int = -20
+    root_delay: float = 0.0
+    root_dispersion: float = 0.0
+    reference_id: str = ""
+    reference_timestamp: NTPTimestamp = field(default_factory=NTPTimestamp.zero)
+    origin_timestamp: NTPTimestamp = field(default_factory=NTPTimestamp.zero)
+    receive_timestamp: NTPTimestamp = field(default_factory=NTPTimestamp.zero)
+    transmit_timestamp: NTPTimestamp = field(default_factory=NTPTimestamp.zero)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def is_kiss_of_death(self) -> bool:
+        """True for stratum-0 server packets carrying a kiss code."""
+        return self.mode is NTPMode.SERVER and self.stratum == 0
+
+    @property
+    def kiss_code(self) -> str:
+        """The kiss code, for Kiss-o'-Death packets."""
+        return self.reference_id if self.is_kiss_of_death else ""
+
+    @property
+    def refid_as_address(self) -> str:
+        """Interpret the reference id as an IPv4 address (stratum >= 2).
+
+        For stratum 2 and above the reference id identifies the server's
+        current synchronisation source — the leak exploited by attack
+        scenario P2.
+        """
+        if self.stratum >= 2 and len(self.reference_id) == 4 and not self.reference_id.isalpha():
+            return self.reference_id
+        return self.reference_id
+
+    # -------------------------------------------------------------- encoding
+    def _encode_refid(self) -> bytes:
+        # Stratum 0 (kiss codes) and stratum 1 (reference clock names) carry
+        # ASCII identifiers; higher strata carry the IPv4 address of the
+        # server's synchronisation source.
+        if not self.reference_id:
+            return b"\x00" * 4
+        if self.stratum <= 1:
+            return self.reference_id.encode("ascii")[:4].ljust(4, b"\x00")
+        return ip_to_int(self.reference_id).to_bytes(4, "big")
+
+    def encode(self) -> bytes:
+        """Encode the packet to its 48 wire bytes."""
+        li_vn_mode = ((self.leap & 0x3) << 6) | ((self.version & 0x7) << 3) | int(self.mode)
+        return struct.pack(
+            "!BBbb II 4s 8s 8s 8s 8s",
+            li_vn_mode,
+            self.stratum,
+            self.poll,
+            self.precision,
+            int(self.root_delay * (1 << 16)) & 0xFFFFFFFF,
+            int(self.root_dispersion * (1 << 16)) & 0xFFFFFFFF,
+            self._encode_refid(),
+            self.reference_timestamp.to_bytes(),
+            self.origin_timestamp.to_bytes(),
+            self.receive_timestamp.to_bytes(),
+            self.transmit_timestamp.to_bytes(),
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "NTPPacket":
+        """Decode 48 wire bytes into a packet."""
+        if len(data) < NTP_PACKET_LEN:
+            raise ValueError(f"NTP packet too short: {len(data)} bytes")
+        (
+            li_vn_mode,
+            stratum,
+            poll,
+            precision,
+            root_delay_raw,
+            root_dispersion_raw,
+            refid_bytes,
+            ref_ts,
+            orig_ts,
+            recv_ts,
+            xmit_ts,
+        ) = struct.unpack("!BBbb II 4s 8s 8s 8s 8s", data[:NTP_PACKET_LEN])
+        mode = NTPMode(li_vn_mode & 0x7)
+        if stratum <= 1:
+            reference_id = refid_bytes.rstrip(b"\x00").decode("ascii", errors="replace")
+        elif refid_bytes == b"\x00" * 4:
+            reference_id = ""
+        else:
+            reference_id = int_to_ip(int.from_bytes(refid_bytes, "big"))
+        return cls(
+            mode=mode,
+            leap=(li_vn_mode >> 6) & 0x3,
+            version=(li_vn_mode >> 3) & 0x7,
+            stratum=stratum,
+            poll=poll,
+            precision=precision,
+            root_delay=root_delay_raw / (1 << 16),
+            root_dispersion=root_dispersion_raw / (1 << 16),
+            reference_id=reference_id,
+            reference_timestamp=NTPTimestamp.from_bytes(ref_ts),
+            origin_timestamp=NTPTimestamp.from_bytes(orig_ts),
+            receive_timestamp=NTPTimestamp.from_bytes(recv_ts),
+            transmit_timestamp=NTPTimestamp.from_bytes(xmit_ts),
+        )
+
+    # ------------------------------------------------------------ factories
+    @classmethod
+    def client_query(cls, transmit_time: float) -> "NTPPacket":
+        """Build a mode 3 query with the client's transmit timestamp."""
+        return cls(
+            mode=NTPMode.CLIENT,
+            stratum=0,
+            transmit_timestamp=NTPTimestamp.from_unix(transmit_time),
+        )
+
+    @classmethod
+    def server_response(
+        cls,
+        query: "NTPPacket",
+        server_time: float,
+        stratum: int = 2,
+        reference_id: str = "",
+    ) -> "NTPPacket":
+        """Build the mode 4 response to ``query`` at the server's clock time."""
+        now = NTPTimestamp.from_unix(server_time)
+        return cls(
+            mode=NTPMode.SERVER,
+            stratum=stratum,
+            poll=query.poll,
+            reference_id=reference_id,
+            reference_timestamp=now,
+            origin_timestamp=query.transmit_timestamp,
+            receive_timestamp=now,
+            transmit_timestamp=now,
+        )
+
+    @classmethod
+    def kiss_of_death(cls, query: "NTPPacket", code: str = KissCode.RATE) -> "NTPPacket":
+        """Build a Kiss-o'-Death response with the given code."""
+        return cls(
+            mode=NTPMode.SERVER,
+            stratum=0,
+            poll=max(query.poll, 10),
+            reference_id=code,
+            origin_timestamp=query.transmit_timestamp,
+        )

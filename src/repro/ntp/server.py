@@ -1,0 +1,159 @@
+"""NTP servers (honest, rate-limiting, and attacker controlled).
+
+A server binds UDP port 123 on a simulated host and answers mode 3 queries
+with mode 4 responses timestamped by its own clock.  Three behaviours matter
+to the paper and are configurable:
+
+* **rate limiting** (with or without Kiss-o'-Death) — abused by the run-time
+  attack and surveyed in section VII-A (38 % of pool servers rate limit,
+  33 % send KoD),
+* **the reference-id leak** — a server synchronised to an upstream exposes
+  that upstream's IPv4 address in its responses, which is how attack
+  scenario P2 discovers a victim client's associations, and
+* **the remote configuration interface** (ntpd mode 6/7) — 5.3 % of pool
+  servers still answer it; it leaks all configured upstream servers at once.
+
+An *attacker* server is simply a server whose clock carries the desired time
+shift (e.g. -500 s): a victim that synchronises to it inherits the shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.host import Host
+from repro.netsim.simulator import Simulator
+from repro.ntp.clock import SystemClock
+from repro.ntp.packet import KissCode, NTPMode, NTPPacket, NTP_PORT
+from repro.ntp.rate_limit import RateLimitDecision, RateLimiter
+
+
+@dataclass
+class NTPServerConfig:
+    """Behavioural knobs for one NTP server."""
+
+    stratum: int = 2
+    rate_limiting: bool = False
+    send_kod: bool = True
+    average_interval: float = 8.0
+    burst_tolerance: float = 100.0
+    open_config_interface: bool = False
+    upstream_server: str = ""
+    respond_probability: float = 1.0
+
+
+@dataclass
+class NTPServerStats:
+    """Counters for tests and the measurement scans."""
+
+    queries_received: int = 0
+    responses_sent: int = 0
+    kods_sent: int = 0
+    queries_dropped: int = 0
+    config_queries_answered: int = 0
+
+
+class NTPServer:
+    """An NTP server instance bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        simulator: Simulator,
+        clock: Optional[SystemClock] = None,
+        config: Optional[NTPServerConfig] = None,
+        name: str = "",
+    ) -> None:
+        self.host = host
+        self.simulator = simulator
+        self.clock = clock or SystemClock(created_at=simulator.now)
+        self.config = config or NTPServerConfig()
+        self.name = name or host.name
+        self.stats = NTPServerStats()
+        self.rate_limiter = RateLimiter(
+            average_interval=self.config.average_interval,
+            burst_tolerance=self.config.burst_tolerance,
+            send_kod=self.config.send_kod,
+            enabled=self.config.rate_limiting,
+        )
+        self._rng = simulator.spawn_rng()
+        self.socket = host.bind(NTP_PORT, self._on_packet)
+
+    @property
+    def ip(self) -> str:
+        """The server's address."""
+        return self.host.ip
+
+    @classmethod
+    def attacker_server(
+        cls,
+        host: Host,
+        simulator: Simulator,
+        time_shift: float,
+        name: str = "attacker-ntp",
+    ) -> "NTPServer":
+        """Create a malicious server whose clock is shifted by ``time_shift``.
+
+        The paper's lab evaluation uses a shift of -500 seconds; any victim
+        client that adopts this server as its (majority) time source will
+        converge to that shift.
+        """
+        clock = SystemClock(offset=time_shift, created_at=simulator.now)
+        config = NTPServerConfig(stratum=2, rate_limiting=False)
+        return cls(host, simulator, clock=clock, config=config, name=name)
+
+    # -------------------------------------------------------------- serving
+    def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
+        try:
+            query = NTPPacket.decode(payload)
+        except ValueError:
+            return
+        if query.mode is NTPMode.PRIVATE or query.mode is NTPMode.CONTROL:
+            self._handle_config_query(src_ip, src_port)
+            return
+        if query.mode is not NTPMode.CLIENT:
+            return
+        self.stats.queries_received += 1
+        now = self.simulator.now
+
+        decision = self.rate_limiter.check(src_ip, now)
+        if decision is RateLimitDecision.DROP:
+            self.stats.queries_dropped += 1
+            return
+        if decision is RateLimitDecision.KOD:
+            self.stats.kods_sent += 1
+            kod = NTPPacket.kiss_of_death(query, KissCode.RATE)
+            self.socket.sendto(kod.encode(), src_ip, src_port)
+            return
+        if self.config.respond_probability < 1.0 and self._rng.random() > self.config.respond_probability:
+            self.stats.queries_dropped += 1
+            return
+
+        response = NTPPacket.server_response(
+            query,
+            server_time=self.clock.time(now),
+            stratum=self.config.stratum,
+            reference_id=self.config.upstream_server,
+        )
+        self.stats.responses_sent += 1
+        self.socket.sendto(response.encode(), src_ip, src_port)
+
+    def _handle_config_query(self, src_ip: str, src_port: int) -> None:
+        """Answer a mode 6/7 configuration query when the interface is open.
+
+        The response payload is a simple ASCII rendering of the configured
+        upstream servers, mirroring the information content of ``ntpq -c
+        peers`` / mode 7 ``reslist``.
+        """
+        if not self.config.open_config_interface:
+            return
+        self.stats.config_queries_answered += 1
+        upstream = self.config.upstream_server or ""
+        payload = f"peers={upstream}".encode("ascii").ljust(48, b"\x00")
+        self.socket.sendto(payload, src_ip, src_port)
+
+    # ----------------------------------------------------------- inspection
+    def is_rate_limiting(self, client_ip: str) -> bool:
+        """Whether ``client_ip`` is currently denied service."""
+        return self.rate_limiter.is_limited(client_ip, self.simulator.now)

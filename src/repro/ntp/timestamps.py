@@ -1,0 +1,71 @@
+"""NTP timestamp format (RFC 5905 section 6).
+
+NTP timestamps are 64-bit fixed-point numbers: 32 bits of seconds since
+1900-01-01 and 32 bits of fraction.  The simulator's "true time" is treated
+as Unix time, so conversion adds the 70-year era offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Seconds between the NTP epoch (1900) and the Unix epoch (1970).
+NTP_UNIX_EPOCH_DELTA = 2_208_988_800
+
+_FRACTION = 1 << 32
+
+
+@dataclass(frozen=True, order=True)
+class NTPTimestamp:
+    """A 64-bit NTP timestamp (seconds and fraction since 1900)."""
+
+    seconds: int
+    fraction: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seconds < (1 << 32):
+            raise ValueError(f"NTP seconds out of range: {self.seconds}")
+        if not 0 <= self.fraction < _FRACTION:
+            raise ValueError(f"NTP fraction out of range: {self.fraction}")
+
+    @classmethod
+    def from_unix(cls, unix_time: float) -> "NTPTimestamp":
+        """Convert a Unix timestamp (float seconds) to NTP format."""
+        ntp_time = unix_time + NTP_UNIX_EPOCH_DELTA
+        seconds = int(ntp_time)
+        fraction = int(round((ntp_time - seconds) * _FRACTION)) % _FRACTION
+        return cls(seconds=seconds & 0xFFFFFFFF, fraction=fraction)
+
+    def to_unix(self) -> float:
+        """Convert back to a Unix timestamp."""
+        return self.seconds - NTP_UNIX_EPOCH_DELTA + self.fraction / _FRACTION
+
+    def to_bytes(self) -> bytes:
+        """Encode as 8 wire bytes."""
+        return self.seconds.to_bytes(4, "big") + self.fraction.to_bytes(4, "big")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "NTPTimestamp":
+        """Decode 8 wire bytes."""
+        if len(data) != 8:
+            raise ValueError("NTP timestamp must be 8 bytes")
+        return cls(
+            seconds=int.from_bytes(data[:4], "big"),
+            fraction=int.from_bytes(data[4:], "big"),
+        )
+
+    @classmethod
+    def zero(cls) -> "NTPTimestamp":
+        """The all-zero timestamp used for unset fields."""
+        return cls(seconds=0, fraction=0)
+
+    def is_zero(self) -> bool:
+        """True for the unset timestamp."""
+        return self.seconds == 0 and self.fraction == 0
+
+    def __sub__(self, other: "NTPTimestamp") -> float:
+        """Difference between two timestamps in seconds (as a float)."""
+        return (
+            (self.seconds - other.seconds)
+            + (self.fraction - other.fraction) / _FRACTION
+        )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+from repro.testbed import TestbedConfig, build_testbed
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """An empty network attached to the simulator fixture."""
+    return Network(sim)
+
+
+@pytest.fixture
+def small_testbed():
+    """A small, fully wired lab testbed (pool, nameserver, resolver, attacker)."""
+    return build_testbed(TestbedConfig(pool_size=24, seed=7))
+
+
+@pytest.fixture
+def predictable_testbed():
+    """A testbed whose pool nameserver has a fully predictable response tail."""
+    return build_testbed(TestbedConfig(pool_size=24, seed=11, pool_rotation="fixed"))

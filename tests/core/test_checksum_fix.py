@@ -1,0 +1,97 @@
+"""Tests for the UDP checksum-fixing primitive (paper section III-3)."""
+
+import pytest
+
+from repro.core.checksum_fix import (
+    apply_correction,
+    checksum_correction,
+    craft_matching_fragment,
+    sums_match,
+)
+from repro.netsim.checksum import ones_complement_sum
+from repro.netsim.udp import UDPDatagram, decode_udp, encode_udp
+
+
+class TestCorrectionArithmetic:
+    def test_zero_correction_for_identical_fragments(self):
+        data = b"identical fragment bytes"
+        assert checksum_correction(data, data) == 0
+
+    def test_correction_cancels_modification(self):
+        original = bytes(range(64))
+        modified = bytearray(original)
+        modified[10:14] = b"\x06\x06\x06\x06"
+        corrected = apply_correction(bytes(modified), 20, checksum_correction(original, bytes(modified)))
+        assert sums_match(original, corrected)
+
+    def test_apply_correction_requires_alignment(self):
+        with pytest.raises(ValueError):
+            apply_correction(bytes(16), 3, 1)
+
+    def test_apply_correction_requires_in_bounds_offset(self):
+        with pytest.raises(ValueError):
+            apply_correction(bytes(16), 16, 1)
+
+
+class TestCraftMatchingFragment:
+    def test_crafted_fragment_matches_sum(self):
+        original = bytes(range(200, 0, -2)) * 2
+        desired = bytearray(original)
+        desired[50:54] = b"\x42\x42\x42\x42"
+        crafted = craft_matching_fragment(original, bytes(desired), adjustable_offsets=[100])
+        assert sums_match(original, crafted)
+        assert crafted[50:54] == b"\x42\x42\x42\x42"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            craft_matching_fragment(bytes(10), bytes(12), [0])
+
+    def test_no_adjustable_offset_rejected(self):
+        original = bytes(range(32))
+        desired = bytearray(original)
+        desired[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            craft_matching_fragment(original, bytes(desired), adjustable_offsets=[1, 3])
+
+    def test_unchanged_fragment_needs_no_adjustment(self):
+        original = bytes(range(32))
+        crafted = craft_matching_fragment(original, original, adjustable_offsets=[])
+        assert crafted == original
+
+
+class TestEndToEndChecksumValidity:
+    def test_replaced_tail_passes_udp_checksum_verification(self):
+        """Full-datagram check: replace the tail of a UDP datagram, fix the
+        sum, and verify the original checksum still validates."""
+        payload = bytes(range(256)) * 2
+        datagram = UDPDatagram(src_port=53, dst_port=33333, payload=payload)
+        wire = encode_udp("198.51.100.10", "192.0.2.53", datagram)
+
+        boundary = 256  # 8-byte aligned split point
+        original_tail = wire[boundary:]
+        desired_tail = bytearray(original_tail)
+        desired_tail[10:14] = b"\x06\x06\x06\x06"
+        crafted_tail = craft_matching_fragment(
+            original_tail, bytes(desired_tail), adjustable_offsets=[30]
+        )
+        spliced = wire[:boundary] + crafted_tail
+        decoded = decode_udp("198.51.100.10", "192.0.2.53", spliced)
+        assert decoded.payload[boundary - 8 + 10 : boundary - 8 + 14] == b"\x06\x06\x06\x06"
+
+    def test_unfixed_replacement_fails_udp_checksum(self):
+        payload = bytes(range(256)) * 2
+        wire = encode_udp(
+            "198.51.100.10", "192.0.2.53", UDPDatagram(src_port=53, dst_port=33333, payload=payload)
+        )
+        boundary = 256
+        tampered = bytearray(wire)
+        tampered[boundary + 10 : boundary + 14] = b"\x06\x06\x06\x06"
+        with pytest.raises(Exception):
+            decode_udp("198.51.100.10", "192.0.2.53", bytes(tampered))
+
+    def test_correction_survives_carry_heavy_content(self):
+        original = b"\xff\xff" * 50
+        desired = bytearray(original)
+        desired[20:24] = b"\x00\x01\x00\x02"
+        crafted = craft_matching_fragment(original, bytes(desired), adjustable_offsets=[40])
+        assert ones_complement_sum(crafted) == ones_complement_sum(original)

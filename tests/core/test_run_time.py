@@ -1,0 +1,143 @@
+"""Tests for the run-time attack orchestration (section IV-B, Table II)."""
+
+import pytest
+
+from repro.core.run_time import RunTimeAttack, RunTimeScenario
+from repro.ntp.clients import NtpdClient, OpenNTPDClient, SystemdTimesyncdClient
+from repro.ntp.clients.base import NTPClientConfig
+
+
+def fast_ntpd_config() -> NTPClientConfig:
+    """A compressed-time ntpd model so run-time attacks finish quickly."""
+    config = NtpdClient.default_config()
+    config.pool_domains = ["pool.ntp.org"]
+    config.desired_associations = 4
+    config.min_associations = 3
+    config.poll_interval = 16.0
+    config.unreachable_after = 4
+    config.step_delay = 60.0
+    config.min_step_samples = 2
+    return config
+
+
+def synchronised_victim(testbed, client_class=NtpdClient, config=None):
+    client = testbed.add_client(client_class, config=config or fast_ntpd_config())
+    client.start()
+    testbed.run_for(300)
+    assert abs(client.clock_error()) < 1.0
+    return client
+
+
+class TestDirectPoisoning:
+    def test_poison_resolver_directly_covers_all_client_domains(self, small_testbed):
+        victim = synchronised_victim(small_testbed)
+        attack = RunTimeAttack(small_testbed.attacker, small_testbed.simulator, small_testbed.resolver, victim)
+        attack.poison_resolver_directly()
+        for domain in victim.config.pool_domains:
+            assert small_testbed.resolver.is_poisoned(
+                domain, small_testbed.attacker.controlled_addresses
+            )
+
+
+class TestScenarioP1:
+    def test_ntpd_shifted_via_known_server_list(self, small_testbed):
+        victim = synchronised_victim(small_testbed)
+        attack = RunTimeAttack(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            small_testbed.resolver,
+            victim,
+            scenario=RunTimeScenario.P1_KNOWN_SERVERS,
+            known_server_list=small_testbed.pool.addresses,
+            check_interval=15.0,
+            max_duration=3600.0,
+        )
+        result = attack.run()
+        assert result.success
+        assert result.clock_shift_achieved == pytest.approx(-500.0, abs=5.0)
+        assert result.attack_duration_minutes is not None
+        assert result.associations_removed >= 2
+        assert result.runtime_dns_lookups >= 1
+
+    def test_systemd_timesyncd_shifted(self, small_testbed):
+        config = SystemdTimesyncdClient.default_config()
+        config.poll_interval = 16.0
+        config.unreachable_after = 4
+        victim = synchronised_victim(small_testbed, SystemdTimesyncdClient, config)
+        attack = RunTimeAttack(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            small_testbed.resolver,
+            victim,
+            scenario=RunTimeScenario.P1_KNOWN_SERVERS,
+            known_server_list=small_testbed.pool.addresses,
+            check_interval=15.0,
+            max_duration=3600.0,
+        )
+        result = attack.run()
+        assert result.success
+
+    def test_openntpd_cannot_be_redirected_at_runtime(self, small_testbed):
+        """Table I: openntpd does no run-time DNS, so the attack only
+        disables synchronisation."""
+        config = OpenNTPDClient.default_config()
+        config.poll_interval = 16.0
+        config.unreachable_after = 4
+        victim = synchronised_victim(small_testbed, OpenNTPDClient, config)
+        attack = RunTimeAttack(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            small_testbed.resolver,
+            victim,
+            scenario=RunTimeScenario.P1_KNOWN_SERVERS,
+            known_server_list=small_testbed.pool.addresses,
+            check_interval=30.0,
+            max_duration=1800.0,
+        )
+        result = attack.run()
+        assert not result.success
+        assert abs(result.clock_shift_achieved) < 1.0
+        assert result.runtime_dns_lookups == 0
+
+
+class TestScenarioP2:
+    def test_ntpd_shifted_via_refid_discovery(self, small_testbed):
+        victim = synchronised_victim(small_testbed)
+        attack = RunTimeAttack(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            small_testbed.resolver,
+            victim,
+            scenario=RunTimeScenario.P2_REFID_DISCOVERY,
+            refid_probe_interval=8.0,
+            check_interval=15.0,
+            max_duration=3600.0 * 2,
+        )
+        result = attack.run()
+        assert result.success
+        assert result.scenario is RunTimeScenario.P2_REFID_DISCOVERY
+
+    def test_p2_takes_longer_than_p1(self):
+        """Table II shape: sequential discovery (P2) is slower than knowing
+        the server list up front (P1)."""
+        from repro.testbed import TestbedConfig, build_testbed
+
+        durations = {}
+        for scenario in (RunTimeScenario.P1_KNOWN_SERVERS, RunTimeScenario.P2_REFID_DISCOVERY):
+            testbed = build_testbed(TestbedConfig(pool_size=24, seed=55))
+            victim = synchronised_victim(testbed)
+            attack = RunTimeAttack(
+                testbed.attacker,
+                testbed.simulator,
+                testbed.resolver,
+                victim,
+                scenario=scenario,
+                known_server_list=testbed.pool.addresses,
+                refid_probe_interval=8.0,
+                check_interval=15.0,
+                max_duration=3600.0 * 2,
+            )
+            result = attack.run()
+            assert result.success
+            durations[scenario] = result.attack_duration
+        assert durations[RunTimeScenario.P2_REFID_DISCOVERY] > durations[RunTimeScenario.P1_KNOWN_SERVERS]

@@ -1,0 +1,55 @@
+"""Tests for the simplified DNSSEC model."""
+
+from repro.dns.dnssec import ZoneSigningKey, sign_rrset, sign_zone, validate_rrset
+from repro.dns.records import RRType, a_record
+from repro.dns.zone import Zone
+
+
+class TestSigning:
+    def test_key_generation_is_deterministic(self):
+        assert ZoneSigningKey.generate("example.org") == ZoneSigningKey.generate("example.org")
+        assert ZoneSigningKey.generate("a.org") != ZoneSigningKey.generate("b.org")
+
+    def test_sign_zone_adds_rrsig_and_dnskey(self):
+        zone = Zone(origin="time.cloudflare.com")
+        zone.add(a_record("time.cloudflare.com", "162.159.200.1"))
+        key = ZoneSigningKey.generate(zone.origin)
+        sign_zone(zone, key)
+        assert zone.signed
+        assert zone.lookup("time.cloudflare.com", RRType.RRSIG)
+        assert zone.lookup("time.cloudflare.com", RRType.DNSKEY)
+
+    def test_signature_validates(self):
+        key = ZoneSigningKey.generate("example.org")
+        rrset = [a_record("example.org", "1.2.3.4")]
+        rrsig = sign_rrset(key, rrset)
+        assert validate_rrset(key, rrset, [rrsig])
+
+
+class TestValidationFailures:
+    def test_forged_record_fails_validation(self):
+        """The attacker cannot produce a valid signature for injected records."""
+        key = ZoneSigningKey.generate("example.org")
+        honest = [a_record("example.org", "1.2.3.4")]
+        rrsig = sign_rrset(key, honest)
+        forged = [a_record("example.org", "6.6.6.6")]
+        assert not validate_rrset(key, forged, [rrsig])
+
+    def test_signature_from_wrong_key_rejected(self):
+        rrset = [a_record("example.org", "1.2.3.4")]
+        rrsig = sign_rrset(ZoneSigningKey.generate("other.org", key_tag=9), rrset)
+        assert not validate_rrset(ZoneSigningKey.generate("example.org"), rrset, [rrsig])
+
+    def test_missing_signature_rejected(self):
+        key = ZoneSigningKey.generate("example.org")
+        assert not validate_rrset(key, [a_record("example.org", "1.2.3.4")], [])
+
+    def test_empty_rrset_rejected(self):
+        key = ZoneSigningKey.generate("example.org")
+        assert not validate_rrset(key, [], [])
+
+    def test_signature_order_independent(self):
+        key = ZoneSigningKey.generate("example.org")
+        rrset = [a_record("example.org", "1.1.1.1"), a_record("example.org", "2.2.2.2")]
+        rrsig = sign_rrset(key, rrset)
+        assert validate_rrset(key, list(reversed(rrset)), [rrsig])

@@ -1,0 +1,99 @@
+"""Tests for domain-name handling and wire encoding."""
+
+import pytest
+
+from repro.dns.errors import NameError_
+from repro.dns.names import (
+    decode_name,
+    encode_name,
+    name_in_zone,
+    normalize_name,
+    parent_zones,
+)
+
+
+class TestNormalization:
+    def test_lowercases_and_strips_trailing_dot(self):
+        assert normalize_name("Pool.NTP.org.") == "pool.ntp.org"
+
+    def test_empty_root_name(self):
+        assert normalize_name("") == ""
+        assert normalize_name(".") == ""
+
+    def test_rejects_long_name(self):
+        with pytest.raises(NameError_):
+            normalize_name("a" * 300)
+
+    def test_rejects_long_label(self):
+        with pytest.raises(NameError_):
+            normalize_name("a" * 64 + ".example")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(NameError_):
+            normalize_name("pool..ntp.org")
+
+
+class TestBailiwick:
+    def test_name_in_its_own_zone(self):
+        assert name_in_zone("pool.ntp.org", "pool.ntp.org")
+
+    def test_subdomain_in_zone(self):
+        assert name_in_zone("0.pool.ntp.org", "pool.ntp.org")
+
+    def test_sibling_not_in_zone(self):
+        assert not name_in_zone("example.org", "pool.ntp.org")
+
+    def test_suffix_trick_rejected(self):
+        # evilpool.ntp.org must not match pool.ntp.org.
+        assert not name_in_zone("evilpool.ntp.org", "pool.ntp.org")
+        assert not name_in_zone("xpool.ntp.org", "pool.ntp.org")
+
+    def test_root_zone_contains_everything(self):
+        assert name_in_zone("anything.example", "")
+
+    def test_parent_zones(self):
+        assert parent_zones("0.pool.ntp.org") == ["pool.ntp.org", "ntp.org", "org", ""]
+
+
+class TestWireEncoding:
+    def test_simple_round_trip(self):
+        wire = encode_name("pool.ntp.org")
+        name, offset = decode_name(wire, 0)
+        assert name == "pool.ntp.org"
+        assert offset == len(wire)
+
+    def test_root_name_encoding(self):
+        assert encode_name("") == b"\x00"
+
+    def test_label_lengths_in_wire_format(self):
+        wire = encode_name("ab.cde")
+        assert wire == b"\x02ab\x03cde\x00"
+
+    def test_compression_pointer_emitted_for_repeated_suffix(self):
+        compression = {}
+        first = encode_name("pool.ntp.org", compression, offset=12)
+        second = encode_name("0.pool.ntp.org", compression, offset=12 + len(first))
+        # The second encoding should end in a 2-byte pointer, not repeat labels.
+        assert len(second) < len(encode_name("0.pool.ntp.org"))
+        assert second[-2] & 0xC0 == 0xC0
+
+    def test_compressed_name_decodes_against_full_message(self):
+        compression = {}
+        message = bytearray(b"\x00" * 12)
+        first = encode_name("pool.ntp.org", compression, offset=len(message))
+        message += first
+        second_offset = len(message)
+        message += encode_name("0.pool.ntp.org", compression, offset=second_offset)
+        name, _ = decode_name(bytes(message), second_offset)
+        assert name == "0.pool.ntp.org"
+
+    def test_decode_rejects_truncation(self):
+        wire = encode_name("pool.ntp.org")
+        with pytest.raises(NameError_):
+            decode_name(wire[:-3], 0)
+
+    def test_decode_rejects_pointer_loop(self):
+        # A pointer pointing at itself.
+        data = b"\xc0\x00"
+        with pytest.raises(NameError_):
+            decode_name(data, 0)

@@ -1,0 +1,152 @@
+"""Tests for authoritative nameservers and the pool.ntp.org model."""
+
+import numpy as np
+
+from repro.dns.dnssec import ZoneSigningKey, sign_zone
+from repro.dns.message import DNSMessage, ResponseCode
+from repro.dns.nameserver import AuthoritativeNameserver, PoolNameserver
+from repro.dns.records import RRType, a_record, ns_record
+from repro.dns.zone import Zone
+from repro.netsim.addresses import address_range
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+
+
+def build_env():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    ns_host = net.add_host("ns", "198.51.100.10")
+    client_host = net.add_host("client", "192.0.2.10")
+    return sim, net, ns_host, client_host
+
+
+def query_over_network(sim, client_host, ns_ip, name, rtype=RRType.A):
+    responses = []
+    socket = client_host.bind(0)
+    socket.on_datagram = lambda payload, ip, port: responses.append(DNSMessage.decode(payload))
+    socket.sendto(DNSMessage.query(name, rtype, txid=9).encode(), ns_ip, 53)
+    sim.run()
+    socket.close()
+    return responses[0] if responses else None
+
+
+class TestAuthoritativeNameserver:
+    def make_server(self, ns_host):
+        zone = Zone(origin="example.org")
+        zone.add(a_record("www.example.org", "192.0.2.80"))
+        zone.add(ns_record("example.org", "ns1.example.org"))
+        zone.add(a_record("ns1.example.org", "198.51.100.10"))
+        return AuthoritativeNameserver(ns_host, zones=[zone])
+
+    def test_answers_a_query(self):
+        sim, net, ns_host, client = build_env()
+        self.make_server(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "www.example.org")
+        assert response.flags.rcode is ResponseCode.NOERROR
+        assert [str(r.data) for r in response.answers] == ["192.0.2.80"]
+        assert response.flags.aa
+
+    def test_nxdomain_for_unknown_name(self):
+        sim, net, ns_host, client = build_env()
+        self.make_server(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "missing.example.org")
+        assert response.flags.rcode is ResponseCode.NXDOMAIN
+
+    def test_refused_outside_zones(self):
+        sim, net, ns_host, client = build_env()
+        self.make_server(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "other.test")
+        assert response.flags.rcode is ResponseCode.REFUSED
+
+    def test_authority_and_glue_attached(self):
+        sim, net, ns_host, client = build_env()
+        self.make_server(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "www.example.org")
+        assert any(r.rtype is RRType.NS for r in response.authority)
+        assert any(r.name == "ns1.example.org" for r in response.additional)
+
+    def test_cname_followed(self):
+        sim, net, ns_host, client = build_env()
+        server = self.make_server(ns_host)
+        zone = server.zones[0]
+        zone.add(a_record("real.example.org", "192.0.2.99"))
+        zone.add(
+            __import__("repro.dns.records", fromlist=["cname_record"]).cname_record(
+                "alias.example.org", "real.example.org"
+            )
+        )
+        response = query_over_network(sim, client, "198.51.100.10", "alias.example.org")
+        assert any(str(r.data) == "192.0.2.99" for r in response.answers)
+
+    def test_signed_zone_includes_rrsig(self):
+        sim, net, ns_host, client = build_env()
+        zone = Zone(origin="time.cloudflare.com")
+        zone.add(a_record("time.cloudflare.com", "162.159.200.1"))
+        key = ZoneSigningKey.generate(zone.origin)
+        sign_zone(zone, key)
+        AuthoritativeNameserver(ns_host, zones=[zone], signing_keys={zone.origin: key})
+        response = query_over_network(sim, client, "198.51.100.10", "time.cloudflare.com")
+        assert any(r.rtype is RRType.RRSIG for r in response.answers)
+
+    def test_malformed_query_ignored(self):
+        sim, net, ns_host, client = build_env()
+        server = self.make_server(ns_host)
+        socket = client.bind(0)
+        socket.sendto(b"\x00\x01garbage", "198.51.100.10", 53)
+        sim.run()
+        assert server.stats.malformed_queries == 1
+        assert server.stats.responses_sent == 0
+
+
+class TestPoolNameserver:
+    def make_pool_ns(self, ns_host, rotation="random", **kwargs):
+        return PoolNameserver(
+            ns_host,
+            address_range("203.0.113.1", 50),
+            rotation=rotation,
+            rng=np.random.default_rng(1),
+            **kwargs,
+        )
+
+    def test_four_addresses_with_150s_ttl(self):
+        sim, net, ns_host, client = build_env()
+        self.make_pool_ns(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "pool.ntp.org")
+        a_records = [r for r in response.answers if r.rtype is RRType.A]
+        assert len(a_records) == 4
+        assert all(r.ttl == 150 for r in a_records)
+
+    def test_country_zone_names_answered(self):
+        sim, net, ns_host, client = build_env()
+        self.make_pool_ns(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "de.pool.ntp.org")
+        assert len([r for r in response.answers if r.rtype is RRType.A]) == 4
+
+    def test_random_rotation_varies_addresses(self):
+        _, _, ns_host, _ = build_env()
+        server = self.make_pool_ns(ns_host, rotation="random")
+        draws = {tuple(server.select_addresses("pool.ntp.org")) for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_fixed_rotation_is_deterministic(self):
+        _, _, ns_host, _ = build_env()
+        server = self.make_pool_ns(ns_host, rotation="fixed")
+        draws = {tuple(server.select_addresses("pool.ntp.org")) for _ in range(10)}
+        assert len(draws) == 1
+
+    def test_addresses_come_from_pool(self):
+        _, _, ns_host, _ = build_env()
+        server = self.make_pool_ns(ns_host)
+        assert set(server.select_addresses("pool.ntp.org")) <= set(server.pool_addresses)
+
+    def test_response_padding_grows_response(self):
+        sim, net, ns_host, client = build_env()
+        server = self.make_pool_ns(ns_host, response_padding=200)
+        query = DNSMessage.query("pool.ntp.org", txid=1)
+        assert len(server.build_response(query).encode()) > 300
+
+    def test_ns_records_still_served(self):
+        sim, net, ns_host, client = build_env()
+        self.make_pool_ns(ns_host)
+        response = query_over_network(sim, client, "198.51.100.10", "pool.ntp.org", RRType.NS)
+        assert any(r.rtype is RRType.NS for r in response.answers)

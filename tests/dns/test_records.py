@@ -1,0 +1,95 @@
+"""Tests for resource records and rdata encoding."""
+
+import pytest
+
+from repro.dns.errors import MessageError
+from repro.dns.records import (
+    ResourceRecord,
+    RRType,
+    a_record,
+    cname_record,
+    dnskey_record,
+    ns_record,
+    rrsig_record,
+    soa_record,
+    txt_record,
+)
+
+
+class TestFactories:
+    def test_a_record(self):
+        record = a_record("pool.ntp.org", "203.0.113.5", ttl=150)
+        assert record.rtype is RRType.A
+        assert record.data == "203.0.113.5"
+        assert record.ttl == 150
+
+    def test_ns_record(self):
+        record = ns_record("pool.ntp.org", "ns1.pool.ntp.org")
+        assert record.rtype is RRType.NS
+
+    def test_name_normalised(self):
+        assert a_record("Pool.NTP.org", "1.2.3.4").name == "pool.ntp.org"
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(MessageError):
+            a_record("x.example", "1.2.3.4", ttl=-5)
+
+    def test_key_groups_by_name_and_type(self):
+        a = a_record("pool.ntp.org", "1.1.1.1")
+        b = a_record("pool.ntp.org", "2.2.2.2")
+        assert a.key == b.key
+
+    def test_with_ttl_copies(self):
+        record = a_record("x.example", "1.2.3.4", ttl=300)
+        lowered = record.with_ttl(10)
+        assert lowered.ttl == 10 and record.ttl == 300
+        assert lowered.data == record.data
+
+
+class TestRdataEncoding:
+    def round_trip(self, record: ResourceRecord):
+        rdata = record.encode_rdata(None, 0)
+        decoded = ResourceRecord.decode_rdata(record.rtype, rdata, rdata, 0)
+        return rdata, decoded
+
+    def test_a_rdata_is_four_bytes(self):
+        rdata, decoded = self.round_trip(a_record("x.example", "203.0.113.9"))
+        assert len(rdata) == 4
+        assert decoded == "203.0.113.9"
+
+    def test_ns_rdata_round_trip(self):
+        _, decoded = self.round_trip(ns_record("x.example", "ns1.x.example"))
+        assert decoded == "ns1.x.example"
+
+    def test_cname_rdata_round_trip(self):
+        _, decoded = self.round_trip(cname_record("a.example", "b.example"))
+        assert decoded == "b.example"
+
+    def test_txt_rdata_round_trip(self):
+        _, decoded = self.round_trip(txt_record("x.example", "hello world"))
+        assert decoded == "hello world"
+
+    def test_soa_rdata_round_trip(self):
+        record = soa_record("example", "ns1.example", serial=42)
+        _, decoded = self.round_trip(record)
+        assert decoded[0] == "ns1.example"
+        assert decoded[2] == 42
+
+    def test_rrsig_rdata_round_trip(self):
+        record = rrsig_record("x.example", RRType.A, key_tag=7, signature_hex="ab" * 16)
+        _, decoded = self.round_trip(record)
+        assert decoded[0] is RRType.A
+        assert decoded[1] == 7
+        assert decoded[2] == "ab" * 16
+
+    def test_dnskey_rdata_round_trip(self):
+        _, decoded = self.round_trip(dnskey_record("example", key_tag=513))
+        assert decoded == 513
+
+    def test_bad_a_rdata_rejected(self):
+        with pytest.raises(MessageError):
+            ResourceRecord.decode_rdata(RRType.A, b"\x01\x02", b"", 0)
+
+    def test_unknown_type_round_trips_as_bytes(self):
+        record = ResourceRecord(name="x.example", rtype=RRType.AAAA, ttl=1, data="1.2.3.4")
+        assert record.encode_rdata(None, 0) == b"\x01\x02\x03\x04"

@@ -1,0 +1,74 @@
+"""Tests for the stub resolver used by NTP clients."""
+
+import numpy as np
+
+from repro.dns.message import ResponseCode
+from repro.dns.nameserver import PoolNameserver
+from repro.dns.resolver import RecursiveResolver
+from repro.dns.stub import StubResolver
+from repro.netsim.addresses import address_range
+from repro.netsim.network import Network
+from repro.netsim.simulator import Simulator
+
+
+def build_env():
+    sim = Simulator(seed=6)
+    net = Network(sim)
+    ns_host = net.add_host("ns", "198.51.100.10")
+    PoolNameserver(ns_host, address_range("203.0.113.1", 20), rng=np.random.default_rng(0))
+    resolver_host = net.add_host("resolver", "192.0.2.53")
+    RecursiveResolver(resolver_host, sim, {"pool.ntp.org": "198.51.100.10"})
+    client_host = net.add_host("client", "192.0.2.10")
+    stub = StubResolver(client_host, sim, "192.0.2.53", timeout=3.0)
+    return sim, net, stub
+
+
+class TestStubResolver:
+    def test_successful_resolution(self):
+        sim, net, stub = build_env()
+        results = []
+        stub.resolve("pool.ntp.org", results.append)
+        sim.run()
+        assert results[0].ok
+        assert len(results[0].addresses) == 4
+        assert results[0].latency > 0
+        assert stub.responses_received == 1
+
+    def test_timeout_when_resolver_missing(self):
+        sim, net, stub = build_env()
+        results = []
+        stub.resolve("pool.ntp.org", results.append, resolver_ip="192.0.2.99")
+        sim.run()
+        assert results[0].timed_out
+        assert not results[0].ok
+        assert stub.timeouts == 1
+
+    def test_ttls_exposed(self):
+        sim, net, stub = build_env()
+        results = []
+        stub.resolve("pool.ntp.org", results.append)
+        sim.run()
+        assert results[0].ttls() == [150, 150, 150, 150]
+
+    def test_servfail_reported(self):
+        sim, net, stub = build_env()
+        results = []
+        stub.resolve("unknown.test", results.append)
+        sim.run()
+        assert results[0].rcode is ResponseCode.SERVFAIL
+        assert not results[0].ok
+
+    def test_multiple_outstanding_queries(self):
+        sim, net, stub = build_env()
+        results = []
+        stub.resolve("pool.ntp.org", results.append)
+        stub.resolve("0.pool.ntp.org", results.append)
+        sim.run()
+        assert len(results) == 2 and all(r.ok for r in results)
+
+    def test_socket_released_after_resolution(self):
+        sim, net, stub = build_env()
+        before = len(stub.host.bound_ports())
+        stub.resolve("pool.ntp.org", lambda r: None)
+        sim.run()
+        assert len(stub.host.bound_ports()) == before

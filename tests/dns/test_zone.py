@@ -1,0 +1,48 @@
+"""Tests for zone data."""
+
+import pytest
+
+from repro.dns.records import RRType, a_record, ns_record
+from repro.dns.zone import Zone
+
+
+class TestZone:
+    def make_zone(self):
+        zone = Zone(origin="pool.ntp.org")
+        zone.add(ns_record("pool.ntp.org", "ns1.pool.ntp.org"))
+        zone.add(a_record("ns1.pool.ntp.org", "198.51.100.1"))
+        zone.add(a_record("0.pool.ntp.org", "203.0.113.1"))
+        return zone
+
+    def test_soa_added_automatically(self):
+        zone = Zone(origin="example.org")
+        assert zone.lookup("example.org", RRType.SOA)
+
+    def test_contains(self):
+        zone = self.make_zone()
+        assert zone.contains("0.pool.ntp.org")
+        assert zone.contains("pool.ntp.org")
+        assert not zone.contains("example.org")
+
+    def test_lookup_exact_match(self):
+        zone = self.make_zone()
+        records = zone.lookup("0.pool.ntp.org", RRType.A)
+        assert len(records) == 1 and str(records[0].data) == "203.0.113.1"
+
+    def test_lookup_any(self):
+        zone = self.make_zone()
+        assert len(zone.lookup("pool.ntp.org", RRType.ANY)) >= 2  # SOA + NS
+
+    def test_lookup_missing(self):
+        assert self.make_zone().lookup("9.pool.ntp.org", RRType.A) == []
+
+    def test_add_outside_zone_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_zone().add(a_record("example.com", "1.2.3.4"))
+
+    def test_names(self):
+        names = self.make_zone().names()
+        assert "0.pool.ntp.org" in names and "ns1.pool.ntp.org" in names
+
+    def test_origin_normalised(self):
+        assert Zone(origin="Pool.NTP.ORG.").origin == "pool.ntp.org"

@@ -1,0 +1,127 @@
+"""Integration tests for the countermeasures discussed in section IX."""
+
+import pytest
+
+from repro.core.boot_time import BootTimeAttack
+from repro.dns.dnssec import ZoneSigningKey, sign_zone
+from repro.dns.nameserver import AuthoritativeNameserver
+from repro.dns.records import a_record
+from repro.dns.resolver import RecursiveResolver, ResolverConfig
+from repro.dns.zone import Zone
+from repro.ntp.clients import SystemdTimesyncdClient
+from repro.ntp.clients.base import NTPClientConfig
+from repro.testbed import NAMESERVER_IP, TestbedConfig, build_testbed
+
+
+class TestStaticServerAddresses:
+    def test_client_with_static_ips_is_immune_to_dns_poisoning(self):
+        """The paper's immediate recommendation: do not use DNS for NTP."""
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=81, pool_rotation="fixed"))
+        attack = BootTimeAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            nameserver_ip=NAMESERVER_IP,
+        )
+        attack.launch_poisoning()
+        testbed.run_for(10)
+        victim = testbed.add_client(SystemdTimesyncdClient)
+        # Statically configure the servers instead of booting via DNS.
+        victim.config.runtime_dns = False
+        victim._add_servers(testbed.pool.addresses[:4], domain="")
+        victim.started = True
+        victim.booted_at = testbed.simulator.now
+        victim._schedule_poll()
+        testbed.run_for(400)
+        assert abs(victim.clock_error()) < 1.0
+        assert victim.stats.boot_dns_lookups == 0
+
+
+class TestDNSSEC:
+    def build_signed_environment(self, validate: bool):
+        """An NTP domain that *is* signed (time.cloudflare.com-style)."""
+        testbed = build_testbed(TestbedConfig(pool_size=16, seed=82, pool_rotation="fixed"))
+        zone = Zone(origin="time.cloudflare.com")
+        for address in testbed.pool.addresses[:4]:
+            zone.add(a_record("time.cloudflare.com", address, ttl=300))
+        key = ZoneSigningKey.generate(zone.origin)
+        sign_zone(zone, key)
+        signed_host = testbed.network.add_host("signed-ns", "198.51.100.30")
+        AuthoritativeNameserver(signed_host, zones=[zone], signing_keys={zone.origin: key})
+
+        resolver_host = testbed.network.add_host("validating-resolver", "192.0.2.60")
+        resolver = RecursiveResolver(
+            resolver_host,
+            testbed.simulator,
+            zone_map={
+                "pool.ntp.org": NAMESERVER_IP,
+                "time.cloudflare.com": "198.51.100.30",
+            },
+            config=ResolverConfig(validate_dnssec=validate),
+            trust_anchors={zone.origin: key} if validate else {},
+        )
+        return testbed, resolver
+
+    def _client_config(self) -> NTPClientConfig:
+        config = SystemdTimesyncdClient.default_config()
+        config.pool_domains = ["time.cloudflare.com"]
+        return config
+
+    def test_validating_resolver_blocks_forged_records_for_signed_domain(self):
+        testbed, resolver = self.build_signed_environment(validate=True)
+        # Off-path forgery modelled at its strongest: the attacker somehow
+        # slips a forged rrset (without a valid RRSIG) into the resolution
+        # path; validation rejects it, so the client keeps honest servers.
+        victim_host = testbed.network.add_host("victim", "192.0.2.200")
+        victim = SystemdTimesyncdClient(victim_host, testbed.simulator, resolver.ip, config=self._client_config())
+        victim.start()
+        testbed.run_for(300)
+        assert abs(victim.clock_error()) < 1.0
+        assert set(victim.usable_server_ips()) <= set(testbed.pool.addresses)
+
+    def test_unsigned_pool_domain_gets_no_protection(self):
+        """Only one NTP domain was signed in the paper's measurements; the
+        pool itself is unsigned, so even a validating resolver caches the
+        attacker's records."""
+        testbed = build_testbed(TestbedConfig(pool_size=16, seed=83, pool_rotation="fixed", resolver_validates_dnssec=True))
+        attack = BootTimeAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            nameserver_ip=NAMESERVER_IP,
+        )
+        attack.launch_poisoning()
+        testbed.run_for(10)
+        victim = testbed.add_client(SystemdTimesyncdClient)
+        result = attack.evaluate(victim, observation_period=300)
+        assert result.success
+
+
+class TestChronosHardening:
+    def test_ttl_and_address_caps_blunt_the_chronos_attack(self):
+        from repro.core.chronos_attack import ChronosAttack
+        from repro.ntp.chronos.client import ChronosConfig
+        from repro.ntp.chronos.pool_generation import PoolGenerationConfig
+
+        testbed = build_testbed(TestbedConfig(pool_size=160, seed=84))
+        hardened = ChronosConfig(
+            pool_generation=PoolGenerationConfig(
+                lookup_interval=300.0,
+                total_lookups=24,
+                max_addresses_per_response=4,
+                max_accepted_ttl=300,
+            ),
+            servers_per_round=11,
+            poll_interval=150.0,
+        )
+        victim = testbed.add_chronos_client(config=hardened)
+        attack = ChronosAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            victim=victim,
+        )
+        result = attack.run(poison_after_lookups=5, observe_rounds=3)
+        assert not result.attacker_controls_pool
+        assert not result.success
+        assert abs(result.clock_shift_achieved) < 1.0

@@ -1,0 +1,150 @@
+"""End-to-end integration tests: the full attack chains of the paper.
+
+These tests exercise every layer at once — simulator, IP fragmentation, DNS
+resolution, NTP clients and the attack orchestration — for the three headline
+scenarios (boot-time, run-time, Chronos) plus the honest baseline.
+"""
+
+import pytest
+
+from repro.core.boot_time import BootTimeAttack
+from repro.core.chronos_attack import ChronosAttack
+from repro.core.run_time import RunTimeAttack, RunTimeScenario
+from repro.ntp.chronos.client import ChronosConfig
+from repro.ntp.chronos.pool_generation import PoolGenerationConfig
+from repro.ntp.clients import NtpdClient, SystemdTimesyncdClient
+from repro.testbed import NAMESERVER_IP, TestbedConfig, build_testbed
+
+
+class TestHonestBaseline:
+    def test_all_client_models_synchronise_without_an_attacker(self):
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=71))
+        from repro.ntp.clients import CLIENT_REGISTRY
+
+        clients = []
+        for name, cls in CLIENT_REGISTRY.items():
+            config = cls.default_config()
+            config.pool_domains = ["pool.ntp.org"]
+            clients.append(testbed.add_client(cls, config=config, initial_clock_offset=5.0))
+        for client in clients:
+            client.start()
+        testbed.run_for(1200)
+        for client in clients:
+            assert abs(client.clock_error()) < 1.0, client.client_name
+
+
+class TestBootTimeEndToEnd:
+    def test_fragmentation_poisoning_plus_boot_shifts_the_clock(self):
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=72, pool_rotation="fixed"))
+        attack = BootTimeAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            nameserver_ip=NAMESERVER_IP,
+            target_mtu=68,
+        )
+        attack.launch_poisoning()
+        testbed.run_for(10)
+        victim = testbed.add_client(SystemdTimesyncdClient)
+        result = attack.evaluate(victim, observation_period=400)
+        assert result.success
+        assert result.clock_shift_achieved == pytest.approx(-500.0, abs=5.0)
+        # The attacker never observed victim traffic: no capture was attached.
+        assert testbed.attacker.stats.spoofed_fragments_sent > 0
+
+    def test_poisoning_expires_and_client_recovers_on_next_boot(self):
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=73, pool_rotation="fixed"))
+        attack = BootTimeAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            nameserver_ip=NAMESERVER_IP,
+        )
+        poisoner = attack.launch_poisoning()
+        testbed.run_for(10)
+        victim = testbed.add_client(SystemdTimesyncdClient)
+        attack.evaluate(victim, observation_period=200)
+        victim.stop()
+        poisoner.stop()
+        # Let the 150 s poisoned record expire, then boot a fresh client.
+        testbed.run_for(300)
+        fresh = testbed.add_client(SystemdTimesyncdClient)
+        fresh.start()
+        testbed.run_for(400)
+        assert abs(fresh.clock_error()) < 1.0
+
+
+class TestRunTimeEndToEnd:
+    def test_full_run_time_attack_against_ntpd(self):
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=74))
+        config = NtpdClient.default_config()
+        config.pool_domains = ["pool.ntp.org"]
+        config.desired_associations = 4
+        config.min_associations = 3
+        config.poll_interval = 32.0
+        config.unreachable_after = 4
+        config.step_delay = 120.0
+        victim = testbed.add_client(NtpdClient, config=config)
+        victim.start()
+        testbed.run_for(600)
+        assert abs(victim.clock_error()) < 1.0
+
+        attack = RunTimeAttack(
+            testbed.attacker,
+            testbed.simulator,
+            testbed.resolver,
+            victim,
+            scenario=RunTimeScenario.P1_KNOWN_SERVERS,
+            known_server_list=testbed.pool.addresses,
+            check_interval=30.0,
+            max_duration=3600.0 * 2,
+        )
+        result = attack.run()
+        assert result.success
+        assert result.attack_duration_minutes < 120
+        # The attack's DNS step redirected the client to attacker servers.
+        assert victim.synchronised_to(testbed.attacker.controlled_addresses)
+
+    def test_attack_aborts_cleanly_when_it_cannot_succeed(self):
+        testbed = build_testbed(TestbedConfig(pool_size=32, seed=75, pool_rate_limit_fraction=0.0))
+        config = NtpdClient.default_config()
+        config.pool_domains = ["pool.ntp.org"]
+        config.poll_interval = 32.0
+        victim = testbed.add_client(NtpdClient, config=config)
+        victim.start()
+        testbed.run_for(600)
+        attack = RunTimeAttack(
+            testbed.attacker,
+            testbed.simulator,
+            testbed.resolver,
+            victim,
+            known_server_list=testbed.pool.addresses,
+            check_interval=60.0,
+            max_duration=1800.0,
+        )
+        result = attack.run()
+        assert not result.success
+        assert result.attack_duration is None
+        assert abs(victim.clock_error()) < 1.0
+
+
+class TestChronosEndToEnd:
+    def test_chronos_attack_through_resolver_cache(self):
+        testbed = build_testbed(TestbedConfig(pool_size=160, seed=76))
+        victim = testbed.add_chronos_client(
+            config=ChronosConfig(
+                pool_generation=PoolGenerationConfig(lookup_interval=300.0, total_lookups=24),
+                servers_per_round=11,
+                poll_interval=150.0,
+            )
+        )
+        attack = ChronosAttack(
+            attacker=testbed.attacker,
+            simulator=testbed.simulator,
+            resolver=testbed.resolver,
+            victim=victim,
+        )
+        result = attack.run(poison_after_lookups=8, observe_rounds=4)
+        assert result.attacker_controls_pool
+        assert result.success
+        assert result.injected_addresses == 89

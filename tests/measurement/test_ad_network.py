@@ -1,0 +1,95 @@
+"""Tests for the ad-network resolver study (Table V)."""
+
+from repro.measurement.ad_network import AdNetworkStudy, TEST_DOMAINS
+from repro.measurement.population import (
+    PAPER_AD_REGIONS,
+    PAPER_DNSSEC_VALIDATION_RANGE,
+    WebClientSpec,
+    generate_web_clients,
+)
+
+
+def make_client(**overrides) -> WebClientSpec:
+    defaults = dict(
+        client_id=1,
+        region="Europe",
+        device="PC",
+        dataset=1,
+        uses_google_dns=False,
+        accepts_fragment_sizes={68, 296, 580, 1280},
+        validates_dnssec=False,
+        completed_test=True,
+        baseline_ok=True,
+    )
+    defaults.update(overrides)
+    return WebClientSpec(**defaults)
+
+
+class TestPerClientTests:
+    def test_all_seven_domains_exercised(self):
+        result = AdNetworkStudy.run_client_tests(make_client())
+        assert set(result.loaded) == set(TEST_DOMAINS)
+
+    def test_fragment_acceptance_reflected_in_image_loads(self):
+        result = AdNetworkStudy.run_client_tests(make_client(accepts_fragment_sizes={1280}))
+        assert result.loaded["fbig"] and not result.loaded["ftiny"]
+        assert result.accepts_any_fragment and not result.accepts_tiny
+
+    def test_validating_resolver_fails_sigfail_only(self):
+        result = AdNetworkStudy.run_client_tests(make_client(validates_dnssec=True))
+        assert not result.loaded["sigfail"] and result.loaded["sigright"]
+        assert result.validates_dnssec
+
+    def test_non_validating_resolver_loads_sigfail(self):
+        result = AdNetworkStudy.run_client_tests(make_client(validates_dnssec=False))
+        assert result.loaded["sigfail"]
+        assert not result.validates_dnssec
+
+    def test_incomplete_test_is_invalid(self):
+        result = AdNetworkStudy.run_client_tests(make_client(completed_test=False))
+        assert not result.valid
+
+    def test_baseline_failure_is_invalid(self):
+        result = AdNetworkStudy.run_client_tests(make_client(baseline_ok=False))
+        assert not result.valid
+
+
+class TestAggregation:
+    def test_table5_shape(self):
+        report = AdNetworkStudy(generate_web_clients()).run()
+        assert report.valid_results > 5000
+        assert report.discarded_results > 0
+        for region, (count, tiny, any_) in PAPER_AD_REGIONS.items():
+            row = report.row(region)
+            assert abs(row.tiny_fraction - tiny) < 0.12
+            assert abs(row.any_fraction - any_) < 0.08
+        all_row = report.row("ALL")
+        assert 0.55 < all_row.tiny_fraction < 0.72
+        assert 0.82 < all_row.any_fraction < 0.93
+
+    def test_without_google_row_has_higher_tiny_acceptance(self):
+        report = AdNetworkStudy(generate_web_clients()).run()
+        assert report.row("Without Google").tiny_fraction > report.row("ALL").tiny_fraction
+        assert report.google_clients > 0
+
+    def test_device_rows_present_and_similar(self):
+        report = AdNetworkStudy(generate_web_clients()).run()
+        pc = report.row("PC")
+        mobile = report.row("Mobile,Tablet")
+        assert pc.total + mobile.total == report.valid_results
+        assert abs(pc.any_fraction - mobile.any_fraction) < 0.06
+
+    def test_dnssec_validation_range(self):
+        report = AdNetworkStudy(generate_web_clients()).run()
+        low, high = report.dnssec_validation_range()
+        assert PAPER_DNSSEC_VALIDATION_RANGE[0] - 0.06 <= low <= PAPER_DNSSEC_VALIDATION_RANGE[0] + 0.06
+        assert PAPER_DNSSEC_VALIDATION_RANGE[1] - 0.06 <= high <= PAPER_DNSSEC_VALIDATION_RANGE[1] + 0.06
+
+    def test_unknown_group_raises(self):
+        report = AdNetworkStudy([]).run()
+        try:
+            report.row("Atlantis")
+        except KeyError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected KeyError")

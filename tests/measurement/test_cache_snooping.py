@@ -1,0 +1,87 @@
+"""Tests for the open-resolver cache-snooping study (Table IV / Figure 6)."""
+
+import numpy as np
+
+from repro.measurement.cache_snooping import POOL_QUERY_NAMES, CacheSnoopingStudy
+from repro.measurement.population import (
+    PAPER_CACHED_FRACTIONS,
+    OpenResolverSpec,
+    ResolverPopulationParameters,
+    generate_open_resolvers,
+)
+
+
+def make_resolver(**overrides) -> OpenResolverSpec:
+    defaults = dict(
+        address="100.64.0.1",
+        responds=True,
+        honors_rd_bit=True,
+        accepts_fragments=True,
+        validates_dnssec=False,
+        cached_records={},
+    )
+    defaults.update(overrides)
+    return OpenResolverSpec(**defaults)
+
+
+class TestVerification:
+    def test_silent_resolver_rejected(self):
+        assert not CacheSnoopingStudy.verify_technique(make_resolver(responds=False))
+
+    def test_rd_ignoring_resolver_rejected(self):
+        assert not CacheSnoopingStudy.verify_technique(make_resolver(honors_rd_bit=False))
+
+    def test_well_behaved_resolver_verified(self):
+        assert CacheSnoopingStudy.verify_technique(make_resolver())
+
+
+class TestProbing:
+    def test_cached_record_detected(self):
+        resolver = make_resolver(cached_records={"pool.ntp.org/A": 42.0})
+        assert CacheSnoopingStudy.probe_rd0(resolver, "pool.ntp.org/A")
+        assert not CacheSnoopingStudy.probe_rd0(resolver, "0.pool.ntp.org/A")
+
+    def test_probe_reports_nothing_for_silent_resolver(self):
+        resolver = make_resolver(responds=False, cached_records={"pool.ntp.org/A": 1.0})
+        assert not CacheSnoopingStudy.probe_rd0(resolver, "pool.ntp.org/A")
+
+
+class TestFullStudy:
+    def test_table4_shape_reproduced(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=15_000))
+        report = CacheSnoopingStudy(resolvers).run()
+        assert report.resolvers_verified < report.resolvers_responding < report.resolvers_probed
+        for query in POOL_QUERY_NAMES:
+            row = report.row(query)
+            assert abs(row.cached_fraction - PAPER_CACHED_FRACTIONS[query]) < 0.05
+            assert row.cached_count + row.not_cached_count == report.resolvers_verified
+        # pool.ntp.org/A is the most commonly cached name, as in the paper.
+        fractions = {row.query: row.cached_fraction for row in report.rows}
+        assert max(fractions, key=fractions.get) == "pool.ntp.org/A"
+
+    def test_ttl_distribution_roughly_uniform(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=10_000))
+        report = CacheSnoopingStudy(resolvers).run()
+        counts, _ = report.ttl_histogram(bins=10)
+        assert counts.sum() == len(report.observed_ttls)
+        # Uniformity check: no bin deviates from the mean by more than 25 %.
+        assert np.all(np.abs(counts - counts.mean()) < 0.25 * counts.mean())
+
+    def test_fragment_acceptance_among_ntp_resolvers(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=10_000))
+        report = CacheSnoopingStudy(resolvers).run()
+        assert abs(report.fragment_acceptance_among_ntp_resolvers() - 0.32) < 0.05
+
+    def test_empty_population(self):
+        report = CacheSnoopingStudy([]).run()
+        assert report.resolvers_verified == 0
+        assert all(row.cached_count == 0 for row in report.rows)
+
+    def test_unknown_row_lookup_raises(self):
+        report = CacheSnoopingStudy([]).run()
+        try:
+            report.row("nonexistent")
+        except KeyError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected KeyError")

@@ -1,0 +1,103 @@
+"""Tests for the synthetic population generators."""
+
+import numpy as np
+
+from repro.measurement.population import (
+    PAPER_CACHED_FRACTIONS,
+    ResolverPopulationParameters,
+    SharedResolverPopulationParameters,
+    WebClientPopulationParameters,
+    generate_nameservers,
+    generate_open_resolvers,
+    generate_pool_nameservers,
+    generate_shared_resolvers,
+    generate_web_clients,
+)
+
+
+class TestOpenResolverPopulation:
+    def test_size_and_unique_addresses(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=500))
+        assert len(resolvers) == 500
+        assert len({r.address for r in resolvers}) == 500
+
+    def test_reproducible_with_seeded_rng(self):
+        a = generate_open_resolvers(ResolverPopulationParameters(size=100), np.random.default_rng(1))
+        b = generate_open_resolvers(ResolverPopulationParameters(size=100), np.random.default_rng(1))
+        assert [r.cached_records for r in a] == [r.cached_records for r in b]
+
+    def test_cached_ntp_resolver_fraction_near_target(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=20_000))
+        with_pool_a = sum(1 for r in resolvers if "pool.ntp.org/A" in r.cached_records)
+        fraction = with_pool_a / len(resolvers)
+        assert abs(fraction - PAPER_CACHED_FRACTIONS["pool.ntp.org/A"]) < 0.03
+
+    def test_cached_entries_have_valid_ages(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=1000))
+        for resolver in resolvers:
+            for age in resolver.cached_records.values():
+                assert 0 <= age <= 150
+            ttl = resolver.cached_remaining_ttl("pool.ntp.org/A")
+            if ttl is not None:
+                assert 0 <= ttl <= 150
+
+    def test_ntp_client_resolver_property(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=2000))
+        assert any(r.is_ntp_client_resolver() for r in resolvers)
+        assert any(not r.is_ntp_client_resolver() for r in resolvers)
+
+
+class TestWebClientPopulation:
+    def test_regional_counts_match_parameters(self):
+        params = WebClientPopulationParameters()
+        clients = generate_web_clients(params)
+        for region, count in params.clients_per_region.items():
+            assert sum(1 for c in clients if c.region == region) == count
+
+    def test_google_clients_do_not_accept_tiny_fragments(self):
+        clients = generate_web_clients()
+        for client in clients:
+            if client.uses_google_dns:
+                assert 68 not in client.accepts_fragment_sizes
+
+    def test_fragment_acceptance_is_monotone_in_size(self):
+        clients = generate_web_clients()
+        for client in clients:
+            if 68 in client.accepts_fragment_sizes:
+                assert 296 in client.accepts_fragment_sizes
+                assert 1280 in client.accepts_fragment_sizes
+
+    def test_datasets_assigned_by_region(self):
+        clients = generate_web_clients()
+        assert all(
+            (c.dataset == 2) == (c.region == "Northern America") for c in clients
+        )
+
+
+class TestNameserverPopulation:
+    def test_ntp_domains_present_with_single_signed_one(self):
+        specs = generate_nameservers()
+        ntp = [s for s in specs if s.is_ntp_domain]
+        assert len(ntp) == 10
+        signed = [s.domain for s in ntp if s.supports_dnssec]
+        assert signed == ["time.cloudflare.com"]
+
+    def test_fragmenting_unsigned_fraction_near_paper(self):
+        specs = generate_nameservers()
+        attackable = sum(1 for s in specs if s.honors_pmtud and not s.supports_dnssec)
+        assert abs(attackable / len(specs) - 0.0766) < 0.01
+
+    def test_pool_nameservers_generator(self):
+        specs = generate_pool_nameservers()
+        assert len(specs) == 30
+        assert sum(1 for s in specs if s.honors_pmtud) == 16
+        assert not any(s.supports_dnssec for s in specs)
+
+
+class TestSharedResolverPopulation:
+    def test_category_fractions_near_paper(self):
+        specs = generate_shared_resolvers(SharedResolverPopulationParameters(size=18_668))
+        open_fraction = sum(1 for s in specs if s.is_open_resolver) / len(specs)
+        smtp_fraction = sum(1 for s in specs if s.smtp_server_in_slash24) / len(specs)
+        assert abs(open_fraction - 0.025) < 0.01
+        assert abs(smtp_fraction - 0.115) < 0.02

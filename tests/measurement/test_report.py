@@ -1,0 +1,39 @@
+"""Tests for the report formatting helpers."""
+
+from repro.measurement.report import format_percentage, format_table
+
+
+class TestFormatPercentage:
+    def test_basic(self):
+        assert format_percentage(0.694) == "69.40%"
+
+    def test_decimals(self):
+        assert format_percentage(0.12345, decimals=1) == "12.3%"
+
+    def test_zero_and_one(self):
+        assert format_percentage(0.0) == "0.00%"
+        assert format_percentage(1.0) == "100.00%"
+
+
+class TestFormatTable:
+    def test_contains_headers_rows_and_title(self):
+        text = format_table(
+            ["Client", "Duration"],
+            [["ntpd", "17 min"], ["chrony", "57 min"]],
+            title="Table II",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table II"
+        assert "Client" in lines[1] and "Duration" in lines[1]
+        assert any("ntpd" in line for line in lines)
+        assert any("chrony" in line for line in lines)
+
+    def test_columns_aligned(self):
+        text = format_table(["a", "b"], [["xxxxx", "1"], ["y", "22"]])
+        data_lines = text.splitlines()[2:]
+        positions = {line.index(line.split()[-1]) for line in data_lines}
+        assert len(positions) == 1
+
+    def test_handles_non_string_cells(self):
+        text = format_table(["n", "value"], [[1, 0.5], [2, None]])
+        assert "None" in text and "0.5" in text

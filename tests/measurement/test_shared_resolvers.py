@@ -1,0 +1,59 @@
+"""Tests for the shared-resolver discovery study (section VIII-B3)."""
+
+from repro.measurement.population import (
+    SharedResolverPopulationParameters,
+    SharedResolverSpec,
+    generate_shared_resolvers,
+)
+from repro.measurement.shared_resolvers import SharedResolverStudy
+
+
+class TestClassification:
+    def test_web_only(self):
+        spec = SharedResolverSpec(address="102.0.0.1")
+        report = SharedResolverStudy([spec]).run()
+        assert report.web_only == 1 and report.triggerable == 0
+
+    def test_smtp_shared_is_triggerable(self):
+        spec = SharedResolverSpec(address="102.0.0.1", smtp_server_in_slash24=True)
+        report = SharedResolverStudy([spec]).run()
+        assert report.web_and_smtp == 1 and report.triggerable == 1
+
+    def test_open_resolver_is_triggerable(self):
+        spec = SharedResolverSpec(address="102.0.0.1", is_open_resolver=True)
+        report = SharedResolverStudy([spec]).run()
+        assert report.open_resolvers == 1 and report.triggerable == 1
+
+    def test_open_and_smtp_counted_once(self):
+        spec = SharedResolverSpec(
+            address="102.0.0.1", is_open_resolver=True, smtp_server_in_slash24=True
+        )
+        report = SharedResolverStudy([spec]).run()
+        assert report.open_and_smtp == 1
+        assert report.triggerable == 1
+        assert report.web_only == 0
+
+
+class TestPaperBreakdown:
+    def test_fractions_match_section8b3(self):
+        resolvers = generate_shared_resolvers(SharedResolverPopulationParameters())
+        report = SharedResolverStudy(resolvers).run()
+        fractions = report.fractions()
+        assert abs(fractions["web_only"] - 0.862) < 0.02
+        assert abs(fractions["web_and_smtp"] - 0.113) < 0.02
+        assert abs(fractions["open"] - 0.023) < 0.01
+        assert abs(fractions["open_and_smtp"] - 0.002) < 0.005
+        assert abs(report.triggerable_fraction - 0.138) < 0.025
+        assert report.total_resolvers == 18_668
+
+    def test_categories_partition_the_population(self):
+        resolvers = generate_shared_resolvers()
+        report = SharedResolverStudy(resolvers).run()
+        assert (
+            report.web_only + report.web_and_smtp + report.open_resolvers + report.open_and_smtp
+            == report.total_resolvers
+        )
+
+    def test_empty_population(self):
+        report = SharedResolverStudy([]).run()
+        assert report.triggerable_fraction == 0.0

@@ -1,0 +1,53 @@
+"""Tests for the timing side-channel study (Figure 7 — a negative result)."""
+
+import numpy as np
+
+from repro.measurement.population import ResolverPopulationParameters, generate_open_resolvers
+from repro.measurement.timing_side_channel import TimingSideChannelStudy
+
+
+def run_study(size=3000, seed=4):
+    resolvers = generate_open_resolvers(ResolverPopulationParameters(size=size))
+    return TimingSideChannelStudy(resolvers, rng=np.random.default_rng(seed)).run()
+
+
+class TestProbeModel:
+    def test_only_responding_resolvers_probed(self):
+        resolvers = generate_open_resolvers(ResolverPopulationParameters(size=1000))
+        report = TimingSideChannelStudy(resolvers).run()
+        assert len(report.results) == sum(1 for r in resolvers if r.responds)
+
+    def test_cache_misses_are_slower_on_average(self):
+        report = run_study()
+        cached = [r.latency_difference for r in report.results if r.actually_cached]
+        uncached = [r.latency_difference for r in report.results if not r.actually_cached]
+        assert np.mean(uncached) > np.mean(cached)
+
+    def test_histogram_covers_paper_range(self):
+        report = run_study(size=2000)
+        counts, edges = report.histogram(bins=25, value_range=(-50.0, 200.0))
+        assert counts.sum() == len(report.results)
+        assert edges[0] == -50.0 and edges[-1] == 200.0
+
+
+class TestNegativeResult:
+    def test_no_reliable_threshold_exists(self):
+        """The paper's conclusion: the distributions overlap too much for a
+        usable threshold, so the method was abandoned."""
+        report = run_study(size=4000)
+        _, accuracy = report.best_threshold_accuracy()
+        assert accuracy < 0.90
+
+    def test_distributions_overlap_substantially(self):
+        report = run_study(size=4000)
+        cached = np.array([r.latency_difference for r in report.results if r.actually_cached])
+        uncached = np.array([r.latency_difference for r in report.results if not r.actually_cached])
+        # A large fraction of uncached probes look faster than the median
+        # cached probe — the overlap that kills the classifier.
+        overlap = float(np.mean(uncached < np.percentile(cached, 75)))
+        assert overlap > 0.15
+
+    def test_empty_report(self):
+        from repro.measurement.timing_side_channel import TimingSideChannelReport
+
+        assert TimingSideChannelReport().best_threshold_accuracy() == (0.0, 0.0)

@@ -1,0 +1,67 @@
+"""Tests for ones'-complement checksum arithmetic."""
+
+from repro.netsim.checksum import (
+    add_ones_complement,
+    fold_carries,
+    internet_checksum,
+    ones_complement_sum,
+    sub_ones_complement,
+    verify_checksum,
+)
+
+
+class TestOnesComplementSum:
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+
+    def test_single_word(self):
+        assert ones_complement_sum(b"\x12\x34") == 0x1234
+
+    def test_odd_length_pads_with_zero(self):
+        assert ones_complement_sum(b"\x12") == 0x1200
+
+    def test_carry_folding(self):
+        # 0xFFFF + 0x0001 wraps to 0x0001 in ones'-complement arithmetic.
+        assert ones_complement_sum(b"\xff\xff\x00\x01") == 0x0001
+
+    def test_fold_carries_idempotent(self):
+        assert fold_carries(0x1FFFE) == 0xFFFF
+        assert fold_carries(0x0001) == 0x0001
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Example adapted from RFC 1071 section 3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_verify_round_trip(self):
+        data = b"hello world checksum"
+        checksum = internet_checksum(data)
+        assert verify_checksum(data + checksum.to_bytes(2, "big"))
+
+    def test_verify_detects_corruption(self):
+        data = b"hello world checksum"
+        checksum = internet_checksum(data)
+        corrupted = b"hello worle checksum" + checksum.to_bytes(2, "big")
+        assert not verify_checksum(corrupted)
+
+
+class TestOnesComplementArithmetic:
+    def test_add(self):
+        assert add_ones_complement(0xFFFF, 0x0001) == 0x0001
+
+    def test_subtract_inverse_of_add(self):
+        total = add_ones_complement(0x1234, 0x4321)
+        assert sub_ones_complement(total, 0x4321) in (0x1234, 0x1233)
+
+    def test_subtracting_correction_equalises_sums(self):
+        original = b"\x01\x02\x03\x04\x05\x06"
+        modified = b"\xaa\xbb\x03\x04\x05\x06"
+        diff = sub_ones_complement(
+            ones_complement_sum(modified), ones_complement_sum(original)
+        )
+        word = (modified[2] << 8) | modified[3]
+        adjusted = sub_ones_complement(word, diff)
+        patched = modified[:2] + adjusted.to_bytes(2, "big") + modified[4:]
+        assert ones_complement_sum(patched) == ones_complement_sum(original)

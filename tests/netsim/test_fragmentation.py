@@ -1,0 +1,135 @@
+"""Tests for IPv4 fragmentation and reassembly."""
+
+import pytest
+
+from repro.netsim.errors import FragmentationError
+from repro.netsim.fragmentation import (
+    MINIMUM_IPV4_MTU,
+    fragment_packet,
+    fragments_complete,
+    reassemble_fragments,
+)
+from repro.netsim.packet import IPProtocol, IPv4Packet
+
+
+def make_packet(size: int = 1200, **overrides) -> IPv4Packet:
+    defaults = dict(
+        src="10.0.0.1",
+        dst="10.0.0.2",
+        protocol=IPProtocol.UDP,
+        payload=bytes(range(256)) * (size // 256 + 1),
+    )
+    defaults["payload"] = defaults["payload"][:size]
+    defaults.update(overrides)
+    return IPv4Packet(**defaults)
+
+
+class TestFragmentation:
+    def test_no_fragmentation_when_packet_fits(self):
+        packet = make_packet(size=100)
+        assert fragment_packet(packet, 1500) == [packet]
+
+    def test_fragments_respect_mtu(self):
+        packet = make_packet(size=1200)
+        fragments = fragment_packet(packet, 296)
+        assert all(f.total_length <= 296 for f in fragments)
+
+    def test_all_but_last_fragment_payloads_are_multiples_of_8(self):
+        fragments = fragment_packet(make_packet(size=1000), 300)
+        for fragment in fragments[:-1]:
+            assert len(fragment.payload) % 8 == 0
+
+    def test_mf_flag_set_on_all_but_last(self):
+        fragments = fragment_packet(make_packet(size=1000), 296)
+        assert all(f.more_fragments for f in fragments[:-1])
+        assert not fragments[-1].more_fragments
+
+    def test_offsets_are_contiguous(self):
+        fragments = fragment_packet(make_packet(size=1000), 296)
+        expected = 0
+        for fragment in fragments:
+            assert fragment.fragment_offset == expected
+            expected += len(fragment.payload) // 8
+
+    def test_minimum_mtu_produces_many_fragments(self):
+        fragments = fragment_packet(make_packet(size=500), MINIMUM_IPV4_MTU)
+        assert len(fragments) > 5
+
+    def test_df_bit_prevents_fragmentation(self):
+        packet = make_packet(size=1200, dont_fragment=True)
+        with pytest.raises(FragmentationError):
+            fragment_packet(packet, 296)
+
+    def test_mtu_below_minimum_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_packet(make_packet(), 60)
+
+    def test_fragments_share_reassembly_key(self):
+        packet = make_packet(size=1000, ipid=77)
+        keys = {f.fragment_key for f in fragment_packet(packet, 296)}
+        assert keys == {packet.fragment_key}
+
+
+class TestReassembly:
+    def test_round_trip(self):
+        packet = make_packet(size=1111, ipid=5)
+        fragments = fragment_packet(packet, 296)
+        reassembled = reassemble_fragments(fragments)
+        assert reassembled.payload == packet.payload
+        assert not reassembled.is_fragment
+
+    def test_round_trip_out_of_order(self):
+        packet = make_packet(size=900, ipid=5)
+        fragments = fragment_packet(packet, 296)
+        reassembled = reassemble_fragments(list(reversed(fragments)))
+        assert reassembled.payload == packet.payload
+
+    def test_missing_first_fragment_rejected(self):
+        fragments = fragment_packet(make_packet(size=900), 296)[1:]
+        with pytest.raises(FragmentationError):
+            reassemble_fragments(fragments)
+
+    def test_missing_last_fragment_rejected(self):
+        fragments = fragment_packet(make_packet(size=900), 296)[:-1]
+        with pytest.raises(FragmentationError):
+            reassemble_fragments(fragments)
+
+    def test_hole_rejected(self):
+        fragments = fragment_packet(make_packet(size=1200), 296)
+        assert len(fragments) >= 4
+        with_hole = [fragments[0], fragments[2], fragments[3], fragments[-1]]
+        with pytest.raises(FragmentationError):
+            reassemble_fragments(with_hole)
+
+    def test_mixed_keys_rejected(self):
+        a = fragment_packet(make_packet(size=600, ipid=1), 296)
+        b = fragment_packet(make_packet(size=600, ipid=2), 296)
+        with pytest.raises(FragmentationError):
+            reassemble_fragments([a[0], b[1]])
+
+    def test_replaced_second_fragment_wins(self):
+        """The attack's primitive: a substituted tail ends up in the packet."""
+        packet = make_packet(size=600, ipid=9)
+        fragments = fragment_packet(packet, 296)
+        spoofed_payload = bytes([0xEE]) * len(fragments[1].payload)
+        spoofed = fragments[1].copy(payload=spoofed_payload)
+        reassembled = reassemble_fragments([fragments[0], spoofed] + fragments[2:])
+        assert spoofed_payload in reassembled.payload
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(FragmentationError):
+            reassemble_fragments([])
+
+
+class TestFragmentsComplete:
+    def test_complete_train(self):
+        fragments = fragment_packet(make_packet(size=900), 296)
+        assert fragments_complete(fragments)
+
+    def test_incomplete_train(self):
+        fragments = fragment_packet(make_packet(size=900), 296)
+        assert not fragments_complete(fragments[:-1])
+        assert not fragments_complete(fragments[1:])
+
+    def test_empty(self):
+        assert not fragments_complete([])

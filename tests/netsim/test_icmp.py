@@ -1,0 +1,23 @@
+"""Tests for the ICMP model."""
+
+from repro.netsim.icmp import FRAG_NEEDED_CODE, ICMPMessage, ICMPType, frag_needed
+
+
+class TestICMPMessage:
+    def test_frag_needed_factory(self):
+        message = frag_needed(296)
+        assert message.icmp_type is ICMPType.DEST_UNREACHABLE
+        assert message.code == FRAG_NEEDED_CODE
+        assert message.next_hop_mtu == 296
+        assert message.is_frag_needed
+
+    def test_other_unreachable_codes_are_not_frag_needed(self):
+        message = ICMPMessage(icmp_type=ICMPType.DEST_UNREACHABLE, code=1)
+        assert not message.is_frag_needed
+
+    def test_echo_is_not_frag_needed(self):
+        assert not ICMPMessage(icmp_type=ICMPType.ECHO_REQUEST).is_frag_needed
+
+    def test_embedded_packet_carried(self):
+        message = frag_needed(576, embedded=b"\x45\x00original header")
+        assert message.embedded.startswith(b"\x45")

@@ -1,0 +1,112 @@
+"""Tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.netsim.errors import SimulationError
+from repro.netsim.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_same_time_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_cancelled_event_not_executed(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(True))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(2.0)
+        assert sim.now == 2.0
+        sim.run_for(2.0)
+        assert sim.now == 4.0
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert sim.pending() == 7
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                sim.schedule(1.0, lambda: chain(depth + 1))
+
+        sim.schedule(1.0, lambda: chain(1))
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestRandomness:
+    def test_same_seed_same_draws(self):
+        first = Simulator(seed=3).rng.integers(0, 1000, size=5).tolist()
+        second = Simulator(seed=3).rng.integers(0, 1000, size=5).tolist()
+        assert first == second
+
+    def test_spawned_streams_are_independent(self):
+        sim = Simulator(seed=3)
+        a = sim.spawn_rng().integers(0, 1 << 30)
+        b = sim.spawn_rng().integers(0, 1 << 30)
+        assert a != b
+
+    def test_spawned_streams_reproducible_across_instances(self):
+        a = Simulator(seed=9).spawn_rng().integers(0, 1 << 30)
+        b = Simulator(seed=9).spawn_rng().integers(0, 1 << 30)
+        assert a == b

@@ -1,0 +1,77 @@
+"""Tests for UDP encoding and checksum verification."""
+
+import pytest
+
+from repro.netsim.errors import PacketError
+from repro.netsim.udp import UDPDatagram, decode_udp, encode_udp, udp_checksum
+
+
+class TestDatagram:
+    def test_length_field(self):
+        datagram = UDPDatagram(src_port=1000, dst_port=53, payload=b"abcd")
+        assert datagram.length == 12
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(PacketError):
+            UDPDatagram(src_port=70000, dst_port=53, payload=b"")
+        with pytest.raises(PacketError):
+            UDPDatagram(src_port=53, dst_port=-1, payload=b"")
+
+
+class TestChecksum:
+    def test_checksum_depends_on_addresses(self):
+        datagram = UDPDatagram(src_port=1000, dst_port=53, payload=b"query")
+        a = udp_checksum("10.0.0.1", "10.0.0.2", datagram)
+        b = udp_checksum("10.0.0.1", "10.0.0.3", datagram)
+        assert a != b
+
+    def test_checksum_depends_on_payload(self):
+        a = udp_checksum("10.0.0.1", "10.0.0.2", UDPDatagram(1, 2, b"aaaa"))
+        b = udp_checksum("10.0.0.1", "10.0.0.2", UDPDatagram(1, 2, b"aaab"))
+        assert a != b
+
+    def test_zero_checksum_transmitted_as_ffff(self):
+        # Find a payload whose computed checksum is zero is hard; instead
+        # verify the rule is applied by checking no datagram yields 0.
+        for payload in (b"", b"a", b"ab", b"abc"):
+            value = udp_checksum("10.0.0.1", "10.0.0.2", UDPDatagram(1, 2, payload))
+            assert value != 0
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        datagram = UDPDatagram(src_port=5353, dst_port=53, payload=b"hello dns")
+        wire = encode_udp("192.0.2.1", "192.0.2.2", datagram)
+        decoded = decode_udp("192.0.2.1", "192.0.2.2", wire)
+        assert decoded.src_port == 5353
+        assert decoded.dst_port == 53
+        assert decoded.payload == b"hello dns"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PacketError):
+            decode_udp("1.1.1.1", "2.2.2.2", b"\x00\x01")
+
+    def test_length_mismatch_rejected(self):
+        wire = encode_udp("1.1.1.1", "2.2.2.2", UDPDatagram(1, 2, b"abcdef"))
+        with pytest.raises(PacketError):
+            decode_udp("1.1.1.1", "2.2.2.2", wire + b"extra")
+
+    def test_corrupted_payload_fails_checksum(self):
+        wire = bytearray(encode_udp("1.1.1.1", "2.2.2.2", UDPDatagram(1, 2, b"abcdef")))
+        wire[-1] ^= 0xFF
+        with pytest.raises(PacketError):
+            decode_udp("1.1.1.1", "2.2.2.2", bytes(wire))
+
+    def test_corrupted_payload_accepted_without_verification(self):
+        wire = bytearray(encode_udp("1.1.1.1", "2.2.2.2", UDPDatagram(1, 2, b"abcdef")))
+        wire[-1] ^= 0xFF
+        decoded = decode_udp("1.1.1.1", "2.2.2.2", bytes(wire), verify=False)
+        assert decoded.payload != b"abcdef"
+
+    def test_spoofed_source_fails_checksum(self):
+        """A datagram re-attributed to a different source fails verification,
+        unless the attacker fixes the checksum — the reason section III-3
+        exists."""
+        wire = encode_udp("10.0.0.1", "10.0.0.2", UDPDatagram(1, 2, b"payload"))
+        with pytest.raises(PacketError):
+            decode_udp("6.6.6.6", "10.0.0.2", wire)

@@ -1,0 +1,77 @@
+"""Tests for the full Chronos client."""
+
+import pytest
+
+from repro.ntp.chronos.client import ChronosConfig
+from repro.ntp.chronos.pool_generation import PoolGenerationConfig
+
+
+def fast_chronos_config(**overrides) -> ChronosConfig:
+    """A Chronos configuration with a compressed pool-generation period."""
+    defaults = dict(
+        pool_generation=PoolGenerationConfig(lookup_interval=300.0, total_lookups=6),
+        servers_per_round=9,
+        poll_interval=120.0,
+    )
+    defaults.update(overrides)
+    return ChronosConfig(**defaults)
+
+
+class TestHonestOperation:
+    def test_pool_generation_then_polling(self, small_testbed):
+        client = small_testbed.add_chronos_client(config=fast_chronos_config())
+        client.start()
+        small_testbed.run_for(6 * 300 + 600)
+        assert client.pool()
+        assert client.stats.rounds >= 1
+        assert client.stats.samples_collected > 0
+
+    def test_clock_stays_correct_with_honest_pool(self, small_testbed):
+        client = small_testbed.add_chronos_client(
+            config=fast_chronos_config(), initial_clock_offset=0.0
+        )
+        client.start()
+        small_testbed.run_for(6 * 300 + 1200)
+        assert abs(client.clock_error()) < 0.5
+
+    def test_rounds_accepted_with_honest_servers(self, small_testbed):
+        client = small_testbed.add_chronos_client(config=fast_chronos_config())
+        client.start()
+        small_testbed.run_for(6 * 300 + 1200)
+        assert client.stats.accepted_rounds >= 1
+        assert client.stats.panic_rounds == 0
+
+    def test_early_polling_against_partial_pool(self, small_testbed):
+        client = small_testbed.add_chronos_client(config=fast_chronos_config())
+        client.start(start_polling_after=400.0)
+        small_testbed.run_for(1000)
+        assert client.stats.rounds >= 1
+
+
+class TestUnderAttack:
+    def test_minority_attacker_servers_ignored(self, small_testbed):
+        """Even if some attacker servers sneak into the pool, Chronos holds."""
+        client = small_testbed.add_chronos_client(config=fast_chronos_config())
+        client.start()
+        small_testbed.run_for(6 * 300 + 100)
+        # Force a small number of attacker addresses into the generated pool.
+        for address in small_testbed.attacker.ntp_server_addresses()[:2]:
+            client.pool_generator.state.addresses.add(address)
+        small_testbed.run_for(1200)
+        assert abs(client.clock_error()) < 0.5
+
+    def test_attacker_majority_shifts_clock(self, small_testbed):
+        """Ground truth for the attack: > 2/3 attacker pool => shifted clock."""
+        for address in small_testbed.attacker.address_pool[:40]:
+            if address not in small_testbed.attacker.ntp_servers:
+                small_testbed.attacker.add_ntp_server(address)
+        client = small_testbed.add_chronos_client(config=fast_chronos_config())
+        client.start()
+        small_testbed.run_for(6 * 300 + 100)
+        client.pool_generator.state.addresses.clear()
+        client.pool_generator.state.addresses.update(
+            small_testbed.attacker.ntp_server_addresses()[:30]
+        )
+        small_testbed.run_for(2400)
+        assert client.clock_error() == pytest.approx(-500.0, abs=5.0)
+        assert client.stats.panic_rounds >= 1

@@ -1,0 +1,110 @@
+"""Tests for Chronos pool generation (the attack's entry point)."""
+
+from repro.dns.records import a_record
+from repro.dns.stub import StubResolver
+from repro.ntp.chronos.pool_generation import ChronosPoolGenerator, PoolGenerationConfig
+
+
+def make_generator(testbed, config=None):
+    host = testbed.network.add_host("chronos-host", "192.0.2.90")
+    stub = StubResolver(host, testbed.simulator, testbed.resolver.ip)
+    return ChronosPoolGenerator(stub, testbed.simulator, config)
+
+
+class TestHonestGeneration:
+    def test_hourly_lookups_for_24_hours(self, small_testbed):
+        generator = make_generator(small_testbed)
+        generator.start()
+        small_testbed.run_for(24 * 3600 + 100)
+        assert generator.state.lookups_done == 24
+        assert generator.state.finished
+
+    def test_pool_grows_towards_96_servers(self, small_testbed):
+        generator = make_generator(small_testbed)
+        generator.start()
+        small_testbed.run_for(24 * 3600 + 100)
+        # Random rotation with replacement across lookups: the union is large
+        # but bounded by 4 addresses per lookup and by the pool size.
+        assert 20 <= len(generator.pool()) <= min(96, small_testbed.config.pool_size)
+        assert generator.pool() <= set(small_testbed.pool.addresses)
+
+    def test_lookup_schedule_is_hourly(self, small_testbed):
+        config = PoolGenerationConfig(lookup_interval=3600.0, total_lookups=5)
+        generator = make_generator(small_testbed, config)
+        generator.start()
+        small_testbed.run_for(2 * 3600 + 100)
+        assert generator.state.lookups_done == 3  # t=0, 3600, 7200
+        small_testbed.run_for(3 * 3600)
+        assert generator.state.finished
+
+    def test_on_finished_callback(self, small_testbed):
+        collected = []
+        generator = make_generator(
+            small_testbed, PoolGenerationConfig(lookup_interval=60.0, total_lookups=3)
+        )
+        generator.on_finished = collected.append
+        generator.start()
+        small_testbed.run_for(300)
+        assert collected and collected[0] == generator.pool()
+
+    def test_attacker_fraction_zero_for_honest_pool(self, small_testbed):
+        generator = make_generator(
+            small_testbed, PoolGenerationConfig(lookup_interval=60.0, total_lookups=3)
+        )
+        generator.start()
+        small_testbed.run_for(300)
+        assert generator.attacker_fraction(small_testbed.attacker.controlled_addresses) == 0.0
+
+
+class TestPoisonedGeneration:
+    def _poison(self, testbed, count=89, ttl=48 * 3600):
+        addresses = testbed.attacker.redirect_addresses(count)
+        testbed.resolver.cache.store(
+            [a_record("pool.ntp.org", address, ttl=ttl) for address in addresses],
+            testbed.simulator.now,
+        )
+
+    def test_single_poisoning_dominates_pool(self, small_testbed):
+        config = PoolGenerationConfig(lookup_interval=600.0, total_lookups=24)
+        generator = make_generator(small_testbed, config)
+        generator.start()
+        small_testbed.run_for(3 * 600 + 10)  # three honest lookups happen first
+        self._poison(small_testbed)
+        small_testbed.run_for(24 * 600)
+        fraction = generator.attacker_fraction(small_testbed.attacker.controlled_addresses)
+        assert fraction > 2 / 3
+
+    def test_long_ttl_freezes_subsequent_lookups(self, small_testbed):
+        config = PoolGenerationConfig(lookup_interval=600.0, total_lookups=10)
+        generator = make_generator(small_testbed, config)
+        generator.start()
+        small_testbed.run_for(2 * 600 + 10)
+        self._poison(small_testbed)
+        small_testbed.run_for(10 * 600)
+        # After the poisoning lands, no new (honest) addresses enter the pool.
+        new_after_poison = sum(generator.state.per_lookup_counts[4:])
+        assert new_after_poison == 0
+
+    def test_ttl_check_mitigation_rejects_poisoned_response(self, small_testbed):
+        config = PoolGenerationConfig(
+            lookup_interval=600.0, total_lookups=6, max_accepted_ttl=300
+        )
+        generator = make_generator(small_testbed, config)
+        generator.start()
+        small_testbed.run_for(600 + 10)
+        self._poison(small_testbed, ttl=48 * 3600)
+        small_testbed.run_for(6 * 600)
+        assert generator.attacker_fraction(small_testbed.attacker.controlled_addresses) == 0.0
+        assert generator.state.rejected_responses > 0
+
+    def test_address_cap_mitigation_limits_damage(self, small_testbed):
+        config = PoolGenerationConfig(
+            lookup_interval=600.0, total_lookups=24, max_addresses_per_response=4
+        )
+        generator = make_generator(small_testbed, config)
+        generator.start()
+        small_testbed.run_for(5 * 600 + 10)
+        self._poison(small_testbed)
+        small_testbed.run_for(24 * 600)
+        fraction = generator.attacker_fraction(small_testbed.attacker.controlled_addresses)
+        assert fraction < 0.5

@@ -1,0 +1,163 @@
+"""Tests for the per-implementation client models (Table I behaviours)."""
+
+from repro.ntp.association import AssociationState
+from repro.ntp.clients import (
+    CLIENT_REGISTRY,
+    AndroidSNTPClient,
+    ChronyClient,
+    NtpclientClient,
+    NtpdClient,
+    NtpdateClient,
+    OpenNTPDClient,
+    SystemdTimesyncdClient,
+)
+from repro.ntp.clients.ntpd import NTP_MAXCLOCK, NTP_MINCLOCK
+
+
+class TestTable1Attributes:
+    def test_all_clients_vulnerable_at_boot_time(self):
+        assert all(cls.supports_boot_time_attack for cls in CLIENT_REGISTRY.values())
+
+    def test_runtime_attack_applicability_matches_table1(self):
+        runtime_vulnerable = {
+            name for name, cls in CLIENT_REGISTRY.items() if cls.supports_runtime_attack
+        }
+        assert runtime_vulnerable == {"ntpd", "chrony", "android", "systemd-timesyncd"}
+
+    def test_runtime_vulnerable_clients_cover_at_least_45_percent_of_pool(self):
+        share = sum(
+            cls.pool_usage_share or 0.0
+            for cls in CLIENT_REGISTRY.values()
+            if cls.supports_runtime_attack
+        )
+        assert share >= 0.45
+
+    def test_pool_usage_shares_match_paper(self):
+        assert NtpdClient.pool_usage_share == 0.264
+        assert NtpdateClient.pool_usage_share == 0.200
+        assert AndroidSNTPClient.pool_usage_share == 0.140
+        assert ChronyClient.pool_usage_share == 0.048
+        assert OpenNTPDClient.pool_usage_share == 0.044
+        assert NtpclientClient.pool_usage_share == 0.012
+
+
+class TestNtpdModel:
+    def test_constants(self):
+        assert NTP_MINCLOCK == 3 and NTP_MAXCLOCK == 10
+
+    def test_defaults_reflect_paper_analysis(self):
+        config = NtpdClient.default_config()
+        assert config.desired_associations == 6
+        assert config.min_associations == NTP_MINCLOCK
+        assert config.max_associations == NTP_MAXCLOCK
+        assert config.runtime_dns
+        assert config.act_as_server
+        assert len(config.pool_domains) == 4
+
+    def test_builds_six_associations(self, small_testbed):
+        # The resolver must know about all four pool domains via the suffix.
+        client = small_testbed.add_client(NtpdClient)
+        client.start()
+        small_testbed.run_for(30)
+        assert len(client.usable_server_ips()) == 6
+
+    def test_acts_as_server_and_leaks_refid(self, small_testbed):
+        from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
+
+        client = small_testbed.add_client(NtpdClient)
+        client.start()
+        small_testbed.run_for(200)
+        probe_host = small_testbed.network.add_host("probe", "198.18.0.1")
+        responses = []
+        socket = probe_host.bind(0)
+        socket.on_datagram = lambda payload, ip, port: responses.append(NTPPacket.decode(payload))
+        socket.sendto(
+            NTPPacket.client_query(small_testbed.simulator.now).encode(),
+            client.host.ip,
+            NTP_PORT,
+        )
+        small_testbed.run_for(5)
+        assert responses and responses[0].mode is NTPMode.SERVER
+        assert responses[0].reference_id in client.usable_server_ips()
+
+
+class TestSNTPModels:
+    def test_systemd_caches_four_addresses_and_fails_over(self, small_testbed):
+        client = small_testbed.add_client(SystemdTimesyncdClient)
+        client.start()
+        small_testbed.run_for(30)
+        assert len(client._cached_server_list) == 4
+        assert len(client.usable_server_ips()) == 1
+        current = client.usable_server_ips()[0]
+        # Kill the current server: the client must move to the next cached
+        # address without a DNS query.
+        small_testbed.pool.servers[current].socket.close()
+        small_testbed.run_for(3000)
+        assert client.usable_server_ips()[0] != current
+        assert client.stats.runtime_dns_lookups == 0
+
+    def test_systemd_requeries_dns_after_exhausting_cached_servers(self, small_testbed):
+        client = small_testbed.add_client(SystemdTimesyncdClient)
+        client.start()
+        small_testbed.run_for(30)
+        for address in list(client._cached_server_list):
+            small_testbed.pool.servers[address].socket.close()
+        small_testbed.run_for(3600 * 3)
+        assert client.stats.runtime_dns_lookups >= 1
+
+    def test_android_resolves_before_every_sync(self, small_testbed):
+        small_testbed.resolver.zone_map["android.pool.ntp.org"] = small_testbed.pool_nameserver.ip
+        client = small_testbed.add_client(AndroidSNTPClient)
+        client.start()
+        small_testbed.run_for(3600 * 4)
+        assert client.stats.runtime_dns_lookups >= 3
+
+    def test_ntpdate_steps_once_and_exits(self, small_testbed):
+        client = small_testbed.add_client(NtpdateClient, initial_clock_offset=300.0)
+        client.start()
+        small_testbed.run_for(120)
+        assert abs(client.clock_error()) < 1.0
+        assert not client.started  # exited after its run duration
+        polls_after_exit = client.stats.polls_sent
+        small_testbed.run_for(600)
+        assert client.stats.polls_sent == polls_after_exit
+
+
+class TestNoRuntimeDNSModels:
+    def test_openntpd_never_requeries_dns(self, small_testbed):
+        client = small_testbed.add_client(OpenNTPDClient)
+        client.start()
+        small_testbed.run_for(30)
+        for ip in client.usable_server_ips():
+            small_testbed.pool.servers[ip].socket.close()
+        small_testbed.run_for(3600)
+        assert client.stats.runtime_dns_lookups == 0
+        # Synchronisation is simply disabled; associations are retried.
+        assert all(
+            a.state is not AssociationState.REMOVED for a in client.associations.values()
+        )
+
+    def test_ntpclient_never_requeries_dns(self, small_testbed):
+        client = small_testbed.add_client(NtpclientClient)
+        client.start()
+        small_testbed.run_for(30)
+        for ip in client.usable_server_ips():
+            small_testbed.pool.servers[ip].socket.close()
+        small_testbed.run_for(3600 * 2)
+        assert client.stats.runtime_dns_lookups == 0
+
+    def test_openntpd_tls_constraint_blocks_large_boot_shift(self, small_testbed):
+        """The countermeasure the paper mentions: openntpd's HTTPS constraint."""
+        poisoned = small_testbed.attacker.redirect_addresses(4)
+        from repro.dns.records import a_record
+
+        small_testbed.resolver.cache.store(
+            [a_record("pool.ntp.org", ip, ttl=86400) for ip in poisoned],
+            small_testbed.simulator.now,
+        )
+        constrained = small_testbed.add_client(OpenNTPDClient)
+        constrained.tls_constraint = True
+        constrained.start()
+        small_testbed.run_for(900)
+        assert abs(constrained.clock_error()) < 10.0
+        assert constrained.stats.panics >= 1

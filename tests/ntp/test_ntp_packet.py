@@ -1,0 +1,73 @@
+"""Tests for the NTP packet format."""
+
+import pytest
+
+from repro.ntp.packet import KissCode, NTPMode, NTPPacket, NTP_PACKET_LEN
+
+
+class TestEncodeDecode:
+    def test_round_trip_client_query(self):
+        packet = NTPPacket.client_query(transmit_time=1_650_000_000.25)
+        decoded = NTPPacket.decode(packet.encode())
+        assert decoded.mode is NTPMode.CLIENT
+        assert decoded.transmit_timestamp == packet.transmit_timestamp
+
+    def test_round_trip_server_response(self):
+        query = NTPPacket.client_query(100.0)
+        response = NTPPacket.server_response(
+            query, server_time=105.5, stratum=2, reference_id="203.0.113.9"
+        )
+        decoded = NTPPacket.decode(response.encode())
+        assert decoded.mode is NTPMode.SERVER
+        assert decoded.stratum == 2
+        assert decoded.reference_id == "203.0.113.9"
+        assert decoded.origin_timestamp == query.transmit_timestamp
+
+    def test_packet_is_48_bytes(self):
+        assert len(NTPPacket.client_query(1.0).encode()) == NTP_PACKET_LEN
+
+    def test_truncated_packet_rejected(self):
+        with pytest.raises(ValueError):
+            NTPPacket.decode(b"\x00" * 30)
+
+    def test_version_and_leap_round_trip(self):
+        packet = NTPPacket(mode=NTPMode.SERVER, leap=3, version=4, stratum=2, reference_id="1.2.3.4")
+        decoded = NTPPacket.decode(packet.encode())
+        assert decoded.leap == 3 and decoded.version == 4
+
+
+class TestKissOfDeath:
+    def test_kod_construction(self):
+        query = NTPPacket.client_query(10.0)
+        kod = NTPPacket.kiss_of_death(query, KissCode.RATE)
+        assert kod.is_kiss_of_death
+        assert kod.kiss_code == "RATE"
+        assert kod.stratum == 0
+
+    def test_kod_round_trip(self):
+        kod = NTPPacket.kiss_of_death(NTPPacket.client_query(10.0))
+        decoded = NTPPacket.decode(kod.encode())
+        assert decoded.is_kiss_of_death and decoded.kiss_code == "RATE"
+
+    def test_regular_response_is_not_kod(self):
+        response = NTPPacket.server_response(NTPPacket.client_query(1.0), 2.0)
+        assert not response.is_kiss_of_death
+        assert response.kiss_code == ""
+
+
+class TestRefidLeak:
+    def test_stratum2_refid_is_upstream_address(self):
+        """The information leak used by attack scenario P2."""
+        response = NTPPacket.server_response(
+            NTPPacket.client_query(1.0), 2.0, stratum=3, reference_id="203.0.113.77"
+        )
+        decoded = NTPPacket.decode(response.encode())
+        assert decoded.reference_id == "203.0.113.77"
+
+    def test_stratum1_refid_is_ascii(self):
+        packet = NTPPacket(mode=NTPMode.SERVER, stratum=1, reference_id="GPS")
+        assert NTPPacket.decode(packet.encode()).reference_id == "GPS"
+
+    def test_empty_refid(self):
+        packet = NTPPacket(mode=NTPMode.SERVER, stratum=2, reference_id="")
+        assert NTPPacket.decode(packet.encode()).reference_id == ""

@@ -1,0 +1,71 @@
+"""Property-based tests for checksum arithmetic and checksum fixing."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checksum_fix import craft_matching_fragment, sums_match
+from repro.netsim.checksum import (
+    add_ones_complement,
+    internet_checksum,
+    ones_complement_sum,
+    verify_checksum,
+)
+
+payloads = st.binary(min_size=0, max_size=512)
+words = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestChecksumProperties:
+    @given(payloads)
+    def test_sum_fits_in_16_bits(self, data):
+        assert 0 <= ones_complement_sum(data) <= 0xFFFF
+
+    @given(payloads)
+    def test_checksum_verifies_when_appended(self, data):
+        # Checksums live at even offsets in real headers, so pad odd data.
+        if len(data) % 2 == 1:
+            data = data + b"\x00"
+        checksum = internet_checksum(data)
+        assert verify_checksum(data + checksum.to_bytes(2, "big"))
+
+    @given(payloads)
+    def test_padding_with_zero_byte_preserves_sum(self, data):
+        assert ones_complement_sum(data) == ones_complement_sum(data + b"\x00")
+
+    @given(st.lists(payloads, min_size=2, max_size=4))
+    def test_sum_is_associative_over_concatenation(self, chunks):
+        # Only holds when every chunk except the last has even length.
+        chunks = [c if len(c) % 2 == 0 else c + b"\x00" for c in chunks]
+        total = ones_complement_sum(b"".join(chunks))
+        folded = 0
+        for chunk in chunks:
+            folded = add_ones_complement(folded, ones_complement_sum(chunk))
+        # Both represent the same value modulo the two encodings of zero.
+        assert folded == total or {folded, total} == {0x0000, 0xFFFF}
+
+    @given(words, words)
+    def test_add_commutative(self, a, b):
+        assert add_ones_complement(a, b) == add_ones_complement(b, a)
+
+
+class TestChecksumFixProperties:
+    @given(
+        st.binary(min_size=40, max_size=200),
+        st.binary(min_size=1, max_size=16),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=200)
+    def test_crafted_fragment_always_matches_original_sum(self, original, patch, where):
+        original = original if len(original) % 2 == 0 else original + b"\x00"
+        desired = bytearray(original)
+        start = min(where, len(original) - len(patch))
+        desired[start : start + len(patch)] = patch
+        adjustable = [len(original) - 4]  # sacrifice the penultimate word
+        crafted = craft_matching_fragment(original, bytes(desired), adjustable)
+        assert sums_match(original, crafted)
+        assert len(crafted) == len(original)
+
+    @given(st.binary(min_size=20, max_size=100))
+    def test_identical_fragments_unchanged(self, original):
+        crafted = craft_matching_fragment(original, original, adjustable_offsets=[0])
+        assert crafted == original

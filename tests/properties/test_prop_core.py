@@ -1,0 +1,127 @@
+"""Property-based tests for core invariants: cache, probabilities, clocks, NTP wire."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.probability import (
+    probability_scenario1,
+    probability_scenario2,
+    required_removals,
+)
+from repro.dns.cache import DNSCache
+from repro.dns.records import a_record
+from repro.ntp.clock import SystemClock
+from repro.ntp.packet import NTPMode, NTPPacket
+from repro.ntp.timestamps import NTPTimestamp
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+m_values = st.integers(min_value=1, max_value=12)
+# Bounded below the NTP era-0 rollover (February 2036), where the 32-bit
+# seconds field wraps; era handling is out of scope for the reproduction.
+unix_times = st.floats(min_value=0.0, max_value=2.0e9, allow_nan=False, allow_infinity=False)
+offsets = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestProbabilityProperties:
+    @given(m_values, probabilities)
+    def test_probabilities_in_unit_interval(self, m, p):
+        n = required_removals(m)
+        assert 0.0 <= probability_scenario1(n, p) <= 1.0
+        assert 0.0 <= probability_scenario2(m, n, p) <= 1.0
+
+    @given(m_values, probabilities)
+    def test_p2_at_least_p1(self, m, p):
+        n = required_removals(m)
+        assert probability_scenario2(m, n, p) >= probability_scenario1(n, p) - 1e-12
+
+    @given(m_values)
+    def test_required_removals_is_majority_and_within_m(self, m):
+        n = required_removals(m)
+        assert n > m / 2
+        assert n <= m
+
+    @given(st.integers(min_value=1, max_value=10), probabilities, probabilities)
+    def test_p1_monotone_in_p_rate(self, n, p_low, p_high):
+        assume(p_low <= p_high)
+        assert probability_scenario1(n, p_low) <= probability_scenario1(n, p_high) + 1e-12
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4000),
+                st.floats(min_value=0, max_value=5000, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=100)
+    def test_lookup_never_returns_expired_records(self, events):
+        from repro.dns.records import RRType
+
+        cache = DNSCache()
+        now = 0.0
+        for ttl, advance in events:
+            cache.store([a_record("pool.ntp.org", "1.2.3.4", ttl=ttl)], now)
+            now += advance
+            records = cache.lookup("pool.ntp.org", RRType.A, now)
+            if records is not None:
+                # A returned record implies the last store has not expired yet.
+                assert advance < ttl
+                assert all(0 <= r.ttl <= ttl for r in records)
+
+
+class TestCacheTTLProperties:
+    @given(
+        st.integers(min_value=1, max_value=100000),
+        st.floats(min_value=0, max_value=200000, allow_nan=False),
+    )
+    def test_remaining_ttl_bounded_by_original(self, ttl, elapsed):
+        cache = DNSCache()
+        cache.store([a_record("pool.ntp.org", "1.2.3.4", ttl=ttl)], now=0.0)
+        from repro.dns.records import RRType
+
+        records = cache.lookup("pool.ntp.org", RRType.A, now=elapsed)
+        if records is None:
+            assert elapsed >= min(ttl, cache.max_ttl)
+        else:
+            assert 0 <= records[0].ttl <= ttl
+
+
+class TestClockProperties:
+    @given(offsets, unix_times)
+    def test_error_equals_offset_without_drift(self, offset, when):
+        clock = SystemClock(offset=offset)
+        assert abs(clock.error(when) - offset) < 1e-6
+
+    @given(offsets, st.lists(offsets, max_size=10), unix_times)
+    def test_total_stepped_sums_steps(self, initial, steps, when):
+        clock = SystemClock(offset=initial)
+        for index, step in enumerate(steps):
+            clock.step(step, true_time=float(index))
+        assert abs(clock.total_stepped() - sum(steps)) < 1e-6
+        assert abs(clock.error(when) - (initial + sum(steps))) < 1e-6
+
+
+class TestNTPWireProperties:
+    @given(unix_times)
+    def test_timestamp_round_trip(self, when):
+        ts = NTPTimestamp.from_unix(when)
+        assert abs(ts.to_unix() - when) < 1e-5
+
+    @given(unix_times, st.integers(min_value=0, max_value=15), st.sampled_from(list(NTPMode)))
+    @settings(max_examples=150)
+    def test_packet_round_trip(self, when, stratum, mode):
+        refid = "203.0.113.7" if stratum >= 2 else "GPS"
+        packet = NTPPacket(
+            mode=mode,
+            stratum=stratum,
+            reference_id=refid,
+            transmit_timestamp=NTPTimestamp.from_unix(when),
+        )
+        decoded = NTPPacket.decode(packet.encode())
+        assert decoded.mode is mode
+        assert decoded.stratum == stratum
+        assert decoded.transmit_timestamp == packet.transmit_timestamp

@@ -1,0 +1,77 @@
+"""Property-based tests for the DNS wire format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import DNSMessage, record_offsets
+from repro.dns.names import decode_name, encode_name, normalize_name
+from repro.dns.records import RRType, a_record, ns_record, txt_record
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=15).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+octets = st.integers(min_value=0, max_value=255)
+addresses = st.tuples(octets, octets, octets, octets).map(lambda t: ".".join(map(str, t)))
+ttls = st.integers(min_value=0, max_value=7 * 24 * 3600)
+txids = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestNameProperties:
+    @given(names)
+    def test_encode_decode_round_trip(self, name):
+        wire = encode_name(name)
+        decoded, consumed = decode_name(wire, 0)
+        assert decoded == normalize_name(name)
+        assert consumed == len(wire)
+
+    @given(names)
+    def test_normalisation_idempotent(self, name):
+        assert normalize_name(normalize_name(name)) == normalize_name(name)
+
+
+class TestMessageProperties:
+    @given(
+        names,
+        st.lists(addresses, min_size=1, max_size=30),
+        ttls,
+        txids,
+    )
+    @settings(max_examples=150)
+    def test_response_round_trip(self, name, addrs, ttl, txid):
+        query = DNSMessage.query(name, txid=txid)
+        response = query.make_response(answers=[a_record(name, a, ttl=ttl) for a in addrs])
+        decoded = DNSMessage.decode(response.encode())
+        assert decoded.txid == txid
+        assert decoded.question.name == normalize_name(name)
+        assert [str(r.data) for r in decoded.answers] == addrs
+        assert all(r.ttl == ttl for r in decoded.answers)
+
+    @given(names, st.lists(addresses, min_size=1, max_size=20), txids)
+    @settings(max_examples=100)
+    def test_record_offsets_locate_every_record(self, name, addrs, txid):
+        query = DNSMessage.query(name, txid=txid)
+        response = query.make_response(answers=[a_record(name, a, ttl=60) for a in addrs])
+        response.authority.append(ns_record(name, f"ns1.{name}"))
+        response.additional.append(txt_record(name, "padding"))
+        encoded = response.encode()
+        offsets = record_offsets(encoded)
+        assert len(offsets) == len(addrs) + 2
+        for info, record in zip(offsets[: len(addrs)], response.answers):
+            assert info.rtype is RRType.A
+            assert encoded[info.rdata_offset : info.rdata_offset + 4] == bytes(
+                int(x) for x in str(record.data).split(".")
+            )
+        assert offsets[-1].end_offset == len(encoded)
+
+    @given(names, st.lists(addresses, min_size=1, max_size=10))
+    @settings(max_examples=100)
+    def test_compression_never_larger_than_uncompressed(self, name, addrs):
+        response = DNSMessage.query(name).make_response(
+            answers=[a_record(name, a) for a in addrs]
+        )
+        encoded = response.encode()
+        # Upper bound: header + question + per-record full name encodings.
+        question_len = len(encode_name(name)) + 4
+        per_record_upper = len(encode_name(name)) + 10 + 4
+        assert len(encoded) <= 12 + question_len + per_record_upper * len(addrs)

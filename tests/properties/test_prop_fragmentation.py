@@ -1,0 +1,60 @@
+"""Property-based tests for IPv4 fragmentation and packet encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.fragmentation import fragment_packet, fragments_complete, reassemble_fragments
+from repro.netsim.packet import IPProtocol, IPv4Packet
+
+payload_sizes = st.integers(min_value=0, max_value=4000)
+mtus = st.integers(min_value=68, max_value=1500)
+ipids = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def make_packet(size: int, ipid: int) -> IPv4Packet:
+    payload = bytes((i * 31 + 7) % 256 for i in range(size))
+    return IPv4Packet(
+        src="10.0.0.1", dst="10.0.0.2", protocol=IPProtocol.UDP, payload=payload, ipid=ipid
+    )
+
+
+class TestFragmentationProperties:
+    @given(payload_sizes, mtus, ipids)
+    @settings(max_examples=200)
+    def test_fragment_then_reassemble_is_identity(self, size, mtu, ipid):
+        packet = make_packet(size, ipid)
+        fragments = fragment_packet(packet, mtu)
+        assert fragments_complete(fragments)
+        reassembled = reassemble_fragments(fragments)
+        assert reassembled.payload == packet.payload
+        assert reassembled.fragment_key == packet.fragment_key
+
+    @given(payload_sizes, mtus)
+    @settings(max_examples=200)
+    def test_every_fragment_respects_mtu(self, size, mtu):
+        fragments = fragment_packet(make_packet(size, 1), mtu)
+        assert all(f.total_length <= mtu for f in fragments)
+
+    @given(payload_sizes, mtus)
+    @settings(max_examples=200)
+    def test_payload_bytes_conserved_in_order(self, size, mtu):
+        packet = make_packet(size, 1)
+        fragments = fragment_packet(packet, mtu)
+        assert b"".join(f.payload for f in fragments) == packet.payload
+
+    @given(payload_sizes, mtus)
+    @settings(max_examples=100)
+    def test_non_last_fragments_are_8_byte_aligned(self, size, mtu):
+        fragments = fragment_packet(make_packet(size, 1), mtu)
+        for fragment in fragments[:-1]:
+            assert len(fragment.payload) % 8 == 0
+
+    @given(payload_sizes.filter(lambda s: s > 0), ipids)
+    @settings(max_examples=100)
+    def test_wire_round_trip(self, size, ipid):
+        packet = make_packet(size, ipid)
+        if packet.total_length > 65535:
+            return
+        decoded = IPv4Packet.decode(packet.encode())
+        assert decoded.payload == packet.payload
+        assert decoded.ipid == packet.ipid
