@@ -8,16 +8,23 @@ and the rate-limit-abuse association removal — with the default client models
 and reports the measured durations.  Absolute values depend on the documented
 model parameters; the ordering (P1 < P2 < chrony < slowest SNTP failover) is
 the reproduced shape.
+
+Since the experiment-engine port, the four scenarios are declared as a
+:class:`repro.experiments.RunSpec` sweep and executed by
+:class:`repro.experiments.ExperimentRunner` — in parallel worker processes
+when the machine has the cores for it.  Each run builds its own simulator
+from its own seed, so the results are bit-identical to the sequential
+implementation this benchmark replaced.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.core.run_time import RunTimeAttack, RunTimeScenario
+from repro.experiments import ExperimentRunner, RunSpec
 from repro.measurement.report import format_table
-from repro.ntp.clients import ChronyClient, NtpdClient, SystemdTimesyncdClient
-from repro.testbed import TestbedConfig, build_testbed
 
 #: Paper Table II, minutes.
 PAPER_TABLE2 = {
@@ -27,40 +34,24 @@ PAPER_TABLE2 = {
     ("chrony", "P1"): 57.0,
 }
 
-SCENARIOS = [
-    ("ntpd", NtpdClient, RunTimeScenario.P2_REFID_DISCOVERY),
-    ("ntpd", NtpdClient, RunTimeScenario.P1_KNOWN_SERVERS),
-    ("openntpd*", SystemdTimesyncdClient, RunTimeScenario.P1_KNOWN_SERVERS),
-    ("chrony", ChronyClient, RunTimeScenario.P1_KNOWN_SERVERS),
+SPECS = [
+    RunSpec.make("table2_runtime_attack", client=client, attack=attack, seed=5)
+    for client, attack in (
+        ("ntpd", "P2"),
+        ("ntpd", "P1"),
+        ("openntpd*", "P1"),
+        ("chrony", "P1"),
+    )
 ]
 
 
-def run_scenario(label, client_cls, scenario, seed=5):
-    testbed = build_testbed(TestbedConfig(pool_size=48, seed=seed))
-    victim = testbed.add_client(client_cls)
-    victim.start()
-    testbed.run_for(1500)
-    attack = RunTimeAttack(
-        testbed.attacker,
-        testbed.simulator,
-        testbed.resolver,
-        victim,
-        scenario=scenario,
-        known_server_list=testbed.pool.addresses,
-        max_duration=3600.0 * 3,
-    )
-    result = attack.run()
-    return {
-        "label": label,
-        "scenario": scenario.value,
-        "success": result.success,
-        "minutes": result.attack_duration_minutes,
-        "shift": result.clock_shift_achieved,
-    }
-
-
-def run_table2():
-    return [run_scenario(label, cls, scenario) for label, cls, scenario in SCENARIOS]
+def run_table2(max_workers: int | None = None):
+    """Execute the Table II sweep and return the result rows."""
+    runner = ExperimentRunner(max_workers=max_workers or os.cpu_count())
+    outcomes = runner.run(SPECS)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    assert not failures, failures
+    return [outcome.result for outcome in outcomes]
 
 
 def test_table2_runtime_attack_durations(run_once):
@@ -100,3 +91,10 @@ def test_table2_runtime_attack_durations(run_once):
     assert 20 <= ntpd_p2 <= 70
     assert 30 <= chrony <= 90
     assert 45 <= slowest <= 120
+
+
+def test_table2_parallel_matches_serial():
+    """The engine's process fan-out must not perturb any result bit."""
+    serial = run_table2(max_workers=1)
+    parallel = run_table2(max_workers=max(2, os.cpu_count() or 2))
+    assert serial == parallel

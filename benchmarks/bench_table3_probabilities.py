@@ -2,19 +2,21 @@
 
 Regenerates P1(n) and P2(m, n) for m = 1..9 with p_rate = 38 % (the measured
 rate-limiting prevalence), checks the values against the published table, and
-cross-checks the closed forms with Monte-Carlo simulation over the synthetic
-pool ground truth.
+cross-checks the closed forms with Monte-Carlo simulation.
+
+Since the experiment-engine port the table is produced by the
+``table3_probabilities`` scenario through
+:class:`repro.experiments.ExperimentRunner`, and the Monte-Carlo column uses
+the vectorised shared-matrix estimator
+(:func:`repro.core.probability.monte_carlo_table3`): one ``(trials, 9)``
+draw reused across every row instead of a fresh matrix per cell.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.probability import (
-    monte_carlo_scenario1,
-    monte_carlo_scenario2,
-    table3_rows,
-)
+from repro.experiments import ExperimentRunner, RunSpec
 from repro.measurement.report import format_table
 
 #: Paper Table III (percent).
@@ -32,33 +34,30 @@ PAPER_TABLE3 = {
 
 
 def build_table3():
-    rows = table3_rows()
-    monte_carlo = {
-        row.m: (
-            monte_carlo_scenario1(row.n, trials=200_000),
-            monte_carlo_scenario2(row.m, row.n, trials=200_000),
-        )
-        for row in rows
-    }
-    return rows, monte_carlo
+    runner = ExperimentRunner(max_workers=1)
+    outcomes = runner.run(
+        [RunSpec.make("table3_probabilities", trials=200_000)]
+    )
+    assert outcomes[0].ok, outcomes[0].error
+    return outcomes[0].result["rows"]
 
 
 def test_table3_probabilities(run_once):
-    rows, monte_carlo = run_once(build_table3)
+    rows = run_once(build_table3)
     print()
     print(
         format_table(
             ["m", "n", "P1(n)", "P2(m,n)", "P1 (paper)", "P2 (paper)", "P1 (MC)", "P2 (MC)"],
             [
                 [
-                    row.m,
-                    row.n,
-                    f"{row.p1 * 100:.1f}%",
-                    f"{row.p2 * 100:.1f}%",
-                    f"{PAPER_TABLE3[row.m][1]:.1f}%",
-                    f"{PAPER_TABLE3[row.m][2]:.1f}%",
-                    f"{monte_carlo[row.m][0] * 100:.1f}%",
-                    f"{monte_carlo[row.m][1] * 100:.1f}%",
+                    row["m"],
+                    row["n"],
+                    f"{row['p1'] * 100:.1f}%",
+                    f"{row['p2'] * 100:.1f}%",
+                    f"{PAPER_TABLE3[row['m']][1]:.1f}%",
+                    f"{PAPER_TABLE3[row['m']][2]:.1f}%",
+                    f"{row['mc_p1'] * 100:.1f}%",
+                    f"{row['mc_p2'] * 100:.1f}%",
                 ]
                 for row in rows
             ],
@@ -66,16 +65,17 @@ def test_table3_probabilities(run_once):
         )
     )
     for row in rows:
-        n_expected, p1_expected, p2_expected = PAPER_TABLE3[row.m]
-        assert row.n == n_expected
-        assert row.p1 * 100 == pytest.approx(p1_expected, abs=0.06)
-        assert row.p2 * 100 == pytest.approx(p2_expected, abs=0.06)
-        assert monte_carlo[row.m][0] == pytest.approx(row.p1, abs=0.005)
-        assert monte_carlo[row.m][1] == pytest.approx(row.p2, abs=0.005)
+        n_expected, p1_expected, p2_expected = PAPER_TABLE3[row["m"]]
+        assert row["n"] == n_expected
+        assert row["p1"] * 100 == pytest.approx(p1_expected, abs=0.06)
+        assert row["p2"] * 100 == pytest.approx(p2_expected, abs=0.06)
+        assert row["mc_p1"] == pytest.approx(row["p1"], abs=0.005)
+        assert row["mc_p2"] == pytest.approx(row["p2"], abs=0.005)
 
 
 def test_table3_p_rate_ablation(run_once):
     """Ablation: how the success probabilities scale with rate-limiting prevalence."""
+    from repro.core.probability import table3_rows
 
     def sweep():
         return {p: table3_rows(m_values=[6], p_rate=p)[0] for p in (0.2, 0.38, 0.6, 0.8)}

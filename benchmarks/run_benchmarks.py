@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Benchmark entry point: microbenchmarks + one end-to-end scenario → JSON.
+
+Runs the netsim microbenchmark suite (event-loop seed-vs-fast comparison,
+packets/sec, DNS codec ops/sec) plus one end-to-end Table II scenario through
+the experiment engine, then writes/updates ``BENCH_netsim.json`` at the
+repository root so future PRs have a performance trajectory to compare
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--output PATH]
+        [--rounds N] [--workers N] [--quick]
+
+``--quick`` trims the round count for smoke runs (CI that only needs the
+file refreshed, not tight numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.experiments import ExperimentRunner, RunSpec, write_bench_json  # noqa: E402
+from repro.experiments.runner import timings_summary  # noqa: E402
+
+from bench_micro_netsim import run_micro_benchmarks  # noqa: E402
+
+
+def run_end_to_end(max_workers: int | None) -> dict:
+    """One fixed-seed Table II cell (ntpd / P1) through the engine."""
+    runner = ExperimentRunner(max_workers=max_workers)
+    outcomes = runner.run(
+        [RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)]
+    )
+    outcome = outcomes[0]
+    summary = timings_summary(outcomes)
+    summary["execution_mode"] = runner.last_execution_mode
+    if outcome.ok:
+        summary["result"] = {
+            "success": outcome.result["success"],
+            "minutes": outcome.result["minutes"],
+            "shift": outcome.result["shift"],
+            "events_processed": outcome.result["events_processed"],
+            "events_per_wall_second": round(
+                outcome.result["events_processed"] / outcome.wall_time
+            ),
+        }
+    else:
+        summary["error"] = outcome.error
+    return summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_netsim.json"),
+        help="where to write the benchmark JSON (default: repo root)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=5, help="best-of rounds per microbenchmark"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="experiment engine worker count"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="single round per microbenchmark"
+    )
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    rounds = 1 if args.quick else args.rounds
+
+    print(f"running microbenchmarks (best of {rounds})...", flush=True)
+    micro = run_micro_benchmarks(rounds=rounds)
+    print(json.dumps(micro, indent=2))
+
+    print("running end-to-end scenario (Table II, ntpd/P1, seed 5)...", flush=True)
+    end_to_end = run_end_to_end(args.workers)
+    print(json.dumps(end_to_end, indent=2))
+
+    document = write_bench_json(
+        args.output,
+        microbenchmarks=micro,
+        experiments={"table2_ntpd_p1": end_to_end},
+    )
+    print(f"wrote {args.output}")
+    speedup = document["microbenchmarks"]["event_loop"]["delivery"]["speedup"]
+    print(f"event-loop delivery speedup vs seed: {speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ from repro.dns.names import decode_name, encode_name, normalize_name
 from repro.dns.records import ResourceRecord, RRClass, RRType
 
 DNS_HEADER_LEN = 12
+
+#: Precompiled codecs for the per-message hot path.
+_DNS_HEADER = struct.Struct("!HHHHHH")
+_QUESTION_FIXED = struct.Struct("!HH")
+_RR_FIXED = struct.Struct("!HHIH")
 #: Conventional maximum size of a UDP DNS response without EDNS0.
 MAX_UDP_PAYLOAD = 512
 #: Typical EDNS0 advertised size; responses beyond this are truncated or fragmented.
@@ -160,11 +165,42 @@ class DNSMessage:
         """All records across the answer, authority and additional sections."""
         return list(self.answers) + list(self.authority) + list(self.additional)
 
+    def wire_cache_key(self) -> tuple | None:
+        """A hashable key identifying this message's wire form modulo TXID.
+
+        Two messages with equal keys encode to identical bytes except for
+        the leading 2-byte transaction ID, which lets servers cache the
+        encoded body and prepend a fresh TXID per query (see
+        :meth:`repro.dns.nameserver.AuthoritativeNameserver.encode_response`).
+        Returns ``None`` when a record's data is not hashable, in which case
+        callers must encode normally.
+        """
+        key = (
+            self.flags.encode(),
+            tuple((q.name, int(q.rtype), int(q.rclass)) for q in self.questions),
+            tuple(
+                (r.name, int(r.rtype), int(r.rclass), r.ttl, r.data)
+                for r in self.answers
+            ),
+            tuple(
+                (r.name, int(r.rtype), int(r.rclass), r.ttl, r.data)
+                for r in self.authority
+            ),
+            tuple(
+                (r.name, int(r.rtype), int(r.rclass), r.ttl, r.data)
+                for r in self.additional
+            ),
+        )
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
     # -------------------------------------------------------------- encoding
     def encode(self) -> bytes:
         """Encode to wire bytes with name compression."""
-        header = struct.pack(
-            "!HHHHHH",
+        header = _DNS_HEADER.pack(
             self.txid,
             self.flags.encode(),
             len(self.questions),
@@ -176,13 +212,13 @@ class DNSMessage:
         compression: dict[str, int] = {}
         for question in self.questions:
             body += encode_name(question.name, compression, DNS_HEADER_LEN + len(body))
-            body += struct.pack("!HH", int(question.rtype), int(question.rclass))
+            body += _QUESTION_FIXED.pack(int(question.rtype), int(question.rclass))
         for record in self.records():
             body += encode_name(record.name, compression, DNS_HEADER_LEN + len(body))
             rdata_offset = DNS_HEADER_LEN + len(body) + 10
             rdata = record.encode_rdata(compression, rdata_offset)
-            body += struct.pack(
-                "!HHIH", int(record.rtype), int(record.rclass), record.ttl, len(rdata)
+            body += _RR_FIXED.pack(
+                int(record.rtype), int(record.rclass), record.ttl, len(rdata)
             )
             body += rdata
         return header + bytes(body)
@@ -192,8 +228,8 @@ class DNSMessage:
         """Decode wire bytes into a message."""
         if len(data) < DNS_HEADER_LEN:
             raise MessageError("truncated DNS header")
-        txid, flags_value, qdcount, ancount, nscount, arcount = struct.unpack(
-            "!HHHHHH", data[:DNS_HEADER_LEN]
+        txid, flags_value, qdcount, ancount, nscount, arcount = _DNS_HEADER.unpack(
+            data[:DNS_HEADER_LEN]
         )
         message = cls(txid=txid, flags=DNSHeaderFlags.decode(flags_value))
         cursor = DNS_HEADER_LEN
@@ -201,7 +237,7 @@ class DNSMessage:
             name, cursor = decode_name(data, cursor)
             if cursor + 4 > len(data):
                 raise MessageError("truncated question")
-            rtype, rclass = struct.unpack("!HH", data[cursor : cursor + 4])
+            rtype, rclass = _QUESTION_FIXED.unpack(data[cursor : cursor + 4])
             cursor += 4
             message.questions.append(
                 DNSQuestion(name=name, rtype=RRType(rtype), rclass=RRClass(rclass))
@@ -222,7 +258,7 @@ class DNSMessage:
         name, cursor = decode_name(data, cursor)
         if cursor + 10 > len(data):
             raise MessageError("truncated resource record")
-        rtype, rclass, ttl, rdlength = struct.unpack("!HHIH", data[cursor : cursor + 10])
+        rtype, rclass, ttl, rdlength = _RR_FIXED.unpack(data[cursor : cursor + 10])
         cursor += 10
         rdata = data[cursor : cursor + rdlength]
         if len(rdata) != rdlength:
@@ -273,21 +309,27 @@ def record_offsets(data: bytes) -> list[RecordOffsets]:
     """Walk an encoded DNS message and report each record's field offsets."""
     if len(data) < DNS_HEADER_LEN:
         raise MessageError("truncated DNS header")
-    _txid, _flags, qdcount, ancount, nscount, arcount = struct.unpack(
-        "!HHHHHH", data[:DNS_HEADER_LEN]
+    _txid, _flags, qdcount, ancount, nscount, arcount = _DNS_HEADER.unpack(
+        data[:DNS_HEADER_LEN]
     )
     cursor = DNS_HEADER_LEN
     for _ in range(qdcount):
         _name, cursor = decode_name(data, cursor)
+        if cursor + 4 > len(data):
+            raise MessageError("truncated question")
         cursor += 4
     offsets: list[RecordOffsets] = []
     for section, count in (("answer", ancount), ("authority", nscount), ("additional", arcount)):
         for index in range(count):
             name_offset = cursor
             _name, cursor = decode_name(data, cursor)
-            rtype, _rclass, _ttl, rdlength = struct.unpack(
-                "!HHIH", data[cursor : cursor + 10]
+            if cursor + 10 > len(data):
+                raise MessageError("truncated resource record")
+            rtype, _rclass, _ttl, rdlength = _RR_FIXED.unpack(
+                data[cursor : cursor + 10]
             )
+            if cursor + 10 + rdlength > len(data):
+                raise MessageError("truncated rdata")
             offsets.append(
                 RecordOffsets(
                     section=section,

@@ -8,14 +8,22 @@ an unfragmented response — the quantity that bounds the Chronos attack.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.dns.errors import NameError_
 
 MAX_LABEL_LENGTH = 63
 MAX_NAME_LENGTH = 253
 
 
+@lru_cache(maxsize=65536)
 def normalize_name(name: str) -> str:
-    """Normalise a domain name: lower-case, no trailing dot, validated."""
+    """Normalise a domain name: lower-case, no trailing dot, validated.
+
+    Cached: the simulator normalises the same handful of names (questions,
+    zone lookups, cache keys) on every query, and normalisation is a pure
+    function of the input string.
+    """
     name = name.strip().lower().rstrip(".")
     if name == "":
         return ""
@@ -53,6 +61,29 @@ def parent_zones(name: str) -> list[str]:
     return [".".join(labels[i:]) for i in range(1, len(labels))] + [""]
 
 
+@lru_cache(maxsize=65536)
+def _wire_parts(name: str) -> tuple[tuple[str, bytes], ...]:
+    """Per-label wire fragments of an already-normalised name.
+
+    Returns ``((suffix, length_prefixed_label_bytes), ...)`` so encode_name
+    does not re-split, re-join and re-encode the same name on every call —
+    only the (per-message) compression bookkeeping remains dynamic.
+    """
+    labels = name.split(".")
+    parts = []
+    for index, label in enumerate(labels):
+        suffix = ".".join(labels[index:])
+        encoded = label.encode("ascii")
+        parts.append((suffix, bytes([len(encoded)]) + encoded))
+    return tuple(parts)
+
+
+@lru_cache(maxsize=65536)
+def _uncompressed_wire(name: str) -> bytes:
+    """The full uncompressed wire encoding of an already-normalised name."""
+    return b"".join(part for _suffix, part in _wire_parts(name)) + b"\x00"
+
+
 def encode_name(name: str, compression: dict[str, int] | None = None, offset: int = 0) -> bytes:
     """Encode ``name`` in wire format, using/updating a compression map.
 
@@ -63,18 +94,17 @@ def encode_name(name: str, compression: dict[str, int] | None = None, offset: in
     name = normalize_name(name)
     if name == "":
         return b"\x00"
-    labels = name.split(".")
+    if compression is None:
+        return _uncompressed_wire(name)
     encoded = bytearray()
-    for index in range(len(labels)):
-        suffix = ".".join(labels[index:])
-        if compression is not None and suffix in compression:
+    for suffix, label_bytes in _wire_parts(name):
+        if suffix in compression:
             pointer = compression[suffix]
             encoded += bytes([0xC0 | (pointer >> 8), pointer & 0xFF])
             return bytes(encoded)
-        if compression is not None and offset + len(encoded) < 0x3FFF:
+        if offset + len(encoded) < 0x3FFF:
             compression[suffix] = offset + len(encoded)
-        label = labels[index].encode("ascii")
-        encoded += bytes([len(label)]) + label
+        encoded += label_bytes
     encoded += b"\x00"
     return bytes(encoded)
 

@@ -16,6 +16,7 @@ TTL (paper section IV-A).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -28,6 +29,13 @@ from repro.dns.names import normalize_name
 from repro.dns.records import ResourceRecord, RRType, a_record, ns_record, txt_record
 from repro.dns.zone import Zone
 from repro.netsim.host import Host
+
+#: Bound on the per-server encoded-response cache; identical responses are
+#: common (fixed rotation, repeated zone answers) but a busy random-rotation
+#: pool could otherwise grow the cache without limit.
+ENCODE_CACHE_MAX_ENTRIES = 1024
+
+_TXID_STRUCT = struct.Struct("!H")
 
 #: TTL of pool.ntp.org A records as measured in the paper (section IV-A).
 POOL_A_RECORD_TTL = 150
@@ -43,6 +51,8 @@ class NameserverStats:
     responses_sent: int = 0
     nxdomain_sent: int = 0
     malformed_queries: int = 0
+    encode_cache_hits: int = 0
+    encode_cache_misses: int = 0
 
 
 class AuthoritativeNameserver:
@@ -63,6 +73,10 @@ class AuthoritativeNameserver:
         #: make real-world responses big enough to fragment.
         self.extra_additional = list(extra_additional or [])
         self.stats = NameserverStats()
+        #: Encoded response bodies (bytes after the 2-byte TXID) keyed by
+        #: :meth:`DNSMessage.wire_cache_key`, so identical responses — e.g.
+        #: the pool's rotated answer sets — are not re-encoded per query.
+        self._encode_cache: dict[tuple, bytes] = {}
         self.socket = host.bind(53, self._on_query)
 
     @property
@@ -101,7 +115,29 @@ class AuthoritativeNameserver:
         self.stats.responses_sent += 1
         if response.flags.rcode is ResponseCode.NXDOMAIN:
             self.stats.nxdomain_sent += 1
-        self.socket.sendto(response.encode(), src_ip, src_port)
+        self.socket.sendto(self.encode_response(response), src_ip, src_port)
+
+    def encode_response(self, response: DNSMessage) -> bytes:
+        """Encode a response, reusing cached bytes for identical responses.
+
+        The wire form depends on everything except the 2-byte TXID, so the
+        cache stores the body keyed by :meth:`DNSMessage.wire_cache_key` and
+        prepends the query's TXID.  Responses with unhashable record data
+        fall back to a plain encode.
+        """
+        key = response.wire_cache_key()
+        if key is None:
+            return response.encode()
+        body = self._encode_cache.get(key)
+        if body is None:
+            self.stats.encode_cache_misses += 1
+            if len(self._encode_cache) >= ENCODE_CACHE_MAX_ENTRIES:
+                self._encode_cache.clear()
+            wire = response.encode()
+            self._encode_cache[key] = wire[2:]
+            return wire
+        self.stats.encode_cache_hits += 1
+        return _TXID_STRUCT.pack(response.txid) + body
 
     def build_response(self, query: DNSMessage) -> DNSMessage:
         """Build the authoritative response for a query (no side effects)."""

@@ -1,0 +1,41 @@
+"""Parallel experiment engine for paper-scale scenario sweeps.
+
+The packages under :mod:`repro` simulate one scenario at a time; every table
+of the paper is a *sweep* over a grid of scenarios (client model × attack
+scenario × seed).  This package provides:
+
+* :class:`~repro.experiments.runner.ExperimentRunner` — executes a list of
+  :class:`~repro.experiments.runner.RunSpec` declarations serially or across
+  worker processes (``concurrent.futures.ProcessPoolExecutor``), preserving
+  declaration order and per-run wall-clock timings.
+* :mod:`repro.experiments.scenarios` — a registry of named, picklable
+  scenario functions (workers resolve scenarios by name, so no callables or
+  classes ever cross the process boundary).
+* :func:`~repro.experiments.runner.write_bench_json` — persists
+  machine-readable timings to ``BENCH_netsim.json`` so successive PRs have a
+  performance trajectory to compare against.
+
+See ``EXPERIMENTS.md`` at the repository root for the full guide.
+"""
+
+from repro.experiments.runner import (
+    ExperimentRunner,
+    RunOutcome,
+    RunSpec,
+    make_grid,
+    outcomes_table,
+    write_bench_json,
+)
+from repro.experiments.scenarios import SCENARIOS, get_scenario, scenario
+
+__all__ = [
+    "ExperimentRunner",
+    "RunOutcome",
+    "RunSpec",
+    "SCENARIOS",
+    "get_scenario",
+    "make_grid",
+    "outcomes_table",
+    "scenario",
+    "write_bench_json",
+]

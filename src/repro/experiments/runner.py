@@ -1,0 +1,213 @@
+"""Declarative scenario grids executed serially or across processes.
+
+A sweep is declared as a list of :class:`RunSpec` (scenario name plus keyword
+parameters) and handed to :class:`ExperimentRunner`.  Each run builds its own
+simulator from its own seed, so runs are independent and can execute in any
+order on any worker while remaining bit-for-bit reproducible; the runner
+returns outcomes in declaration order regardless of completion order.
+
+Only the spec (a string and a tuple of primitives) crosses the process
+boundary — workers resolve the scenario function from the registry in
+:mod:`repro.experiments.scenarios` by name.  This keeps the engine robust to
+the usual pickling pitfalls (lambdas, locally defined classes, bound
+methods).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.measurement.report import format_table
+
+#: Default file the benchmark harness persists timings to (repo root).
+BENCH_JSON_FILENAME = "BENCH_netsim.json"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a scenario grid: a registered scenario plus parameters.
+
+    ``params`` is stored as a sorted tuple of ``(name, value)`` pairs so the
+    spec is hashable and its repr is stable — useful as a table row key and
+    for deduplication.
+    """
+
+    scenario: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(cls, scenario: str, **params: Any) -> "RunSpec":
+        """Build a spec from keyword parameters."""
+        return cls(scenario=scenario, params=tuple(sorted(params.items())))
+
+    def kwargs(self) -> dict[str, Any]:
+        """The parameters as a keyword dict (what the scenario receives)."""
+        return dict(self.params)
+
+    @property
+    def label(self) -> str:
+        """Human-readable label, e.g. ``table2[client=ntpd, seed=5]``."""
+        inner = ", ".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.scenario}[{inner}]" if inner else self.scenario
+
+
+@dataclass
+class RunOutcome:
+    """The result of executing one :class:`RunSpec`."""
+
+    spec: RunSpec
+    result: Any = None
+    wall_time: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without raising."""
+        return self.error is None
+
+
+def make_grid(scenario: str, **axes: Iterable[Any]) -> list[RunSpec]:
+    """Cross-product a set of named axes into a list of specs.
+
+    ``make_grid("table2", client=["ntpd", "chrony"], seed=[1, 2])`` yields
+    four specs in deterministic (row-major, insertion-ordered) order.
+    """
+    names = list(axes)
+    combos = product(*(list(axes[name]) for name in names))
+    return [
+        RunSpec.make(scenario, **dict(zip(names, combo))) for combo in combos
+    ]
+
+
+def _execute(spec: RunSpec) -> RunOutcome:
+    """Run one spec (in the current process).  Top-level, hence picklable."""
+    from repro.experiments.scenarios import get_scenario
+
+    started = time.perf_counter()
+    try:
+        result = get_scenario(spec.scenario)(**spec.kwargs())
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        return RunOutcome(
+            spec=spec,
+            wall_time=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return RunOutcome(spec=spec, result=result, wall_time=time.perf_counter() - started)
+
+
+class ExperimentRunner:
+    """Execute scenario sweeps, optionally fanning out across processes.
+
+    Parameters
+    ----------
+    max_workers:
+        ``1`` forces in-process serial execution (no pickling requirements
+        at all).  ``None`` uses ``os.cpu_count()``.  Anything larger than 1
+        uses a ``ProcessPoolExecutor``; if the pool cannot be created or a
+        submission fails to pickle, the runner falls back to serial
+        execution rather than failing the sweep.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            max_workers = os.cpu_count() or 1
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        #: "serial" or "processes[N]" — how the last sweep actually ran.
+        self.last_execution_mode: str = "serial"
+
+    # ------------------------------------------------------------- execution
+    def run(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
+        """Execute all specs, returning outcomes in declaration order."""
+        specs = list(specs)
+        if self.max_workers == 1 or len(specs) <= 1:
+            self.last_execution_mode = "serial"
+            return [_execute(spec) for spec in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                outcomes = list(pool.map(_execute, specs))
+            self.last_execution_mode = f"processes[{self.max_workers}]"
+            return outcomes
+        except Exception:  # pool creation/pickling failure: degrade gracefully
+            self.last_execution_mode = "serial (process pool unavailable)"
+            return [_execute(spec) for spec in specs]
+
+    def run_grid(self, scenario: str, **axes: Iterable[Any]) -> list[RunOutcome]:
+        """Declare and execute a cross-product grid in one call."""
+        return self.run(make_grid(scenario, **axes))
+
+
+# ------------------------------------------------------------------ reporting
+def outcomes_table(
+    outcomes: Sequence[RunOutcome],
+    columns: Sequence[tuple[str, Callable[[RunOutcome], Any]]],
+    title: str = "",
+) -> str:
+    """Render outcomes with :func:`repro.measurement.report.format_table`.
+
+    ``columns`` is a list of ``(header, extractor)`` pairs; extractors
+    receive the :class:`RunOutcome`.
+    """
+    headers = [header for header, _ in columns]
+    rows = [[extract(outcome) for _, extract in columns] for outcome in outcomes]
+    return format_table(headers, rows, title=title)
+
+
+def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
+    """Machine-readable wall-clock summary of a sweep (for the bench JSON)."""
+    return {
+        "runs": [
+            {
+                "label": outcome.spec.label,
+                "wall_time_seconds": round(outcome.wall_time, 6),
+                "ok": outcome.ok,
+            }
+            for outcome in outcomes
+        ],
+        "total_wall_time_seconds": round(
+            sum(outcome.wall_time for outcome in outcomes), 6
+        ),
+    }
+
+
+def write_bench_json(
+    path: str,
+    microbenchmarks: Optional[dict[str, Any]] = None,
+    experiments: Optional[dict[str, Any]] = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """Write (or update) the machine-readable benchmark timings file.
+
+    The file keeps one top-level document; sections passed as ``None`` are
+    preserved from the existing file so microbenchmarks and end-to-end
+    sweeps can be refreshed independently.
+    """
+    document: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            document = {}
+    document["schema"] = "repro-bench/1"
+    document["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    document["python"] = platform.python_version()
+    document["cpu_count"] = os.cpu_count()
+    if microbenchmarks is not None:
+        document["microbenchmarks"] = microbenchmarks
+    if experiments is not None:
+        document["experiments"] = experiments
+    if extra:
+        document.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return document

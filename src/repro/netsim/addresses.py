@@ -9,10 +9,17 @@ readability (e.g. attacker address pools).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.netsim.errors import AddressError
 
+# The simulator converts the same handful of testbed/pool addresses millions
+# of times per experiment (every packet encode, UDP checksum and fragment
+# touches them), so the string<->int conversions are memoised.  Addresses are
+# immutable strings and the functions are pure, which makes caching safe.
 
+
+@lru_cache(maxsize=65536)
 def ip_to_int(address: str) -> int:
     """Convert a dotted-quad IPv4 address to its 32-bit integer value.
 
@@ -32,11 +39,18 @@ def ip_to_int(address: str) -> int:
     return value
 
 
+@lru_cache(maxsize=65536)
 def int_to_ip(value: int) -> str:
     """Convert a 32-bit integer to a dotted-quad IPv4 address string."""
     if not 0 <= value <= 0xFFFFFFFF:
         raise AddressError(f"value out of range for IPv4: {value}")
     return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@lru_cache(maxsize=65536)
+def ip_to_bytes(address: str) -> bytes:
+    """The 4-byte big-endian wire form of a dotted-quad address (cached)."""
+    return ip_to_int(address).to_bytes(4, "big")
 
 
 def same_slash24(first: str, second: str) -> bool:

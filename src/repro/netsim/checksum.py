@@ -17,13 +17,23 @@ def ones_complement_sum(data: bytes) -> int:
 
     Odd-length inputs are padded with a zero byte, as RFC 1071 requires.
     The result is folded so that it fits in 16 bits.
+
+    Implementation note (fast path): instead of looping over 16-bit words in
+    Python, the whole buffer is read as one big integer.  Because
+    ``2**16 ≡ 1 (mod 0xFFFF)``, that integer is congruent to the sum of its
+    16-bit words modulo ``0xFFFF``, so ``total % 0xFFFF`` equals the folded
+    word sum — with the one ambiguity that a positive sum which is a multiple
+    of ``0xFFFF`` folds to ``0xFFFF``, never to zero.  This reproduces the
+    word-loop result bit-for-bit (covered by property tests against the
+    reference loop).
     """
     if len(data) % 2 == 1:
         data = data + b"\x00"
-    total = 0
-    for index in range(0, len(data), 2):
-        total += (data[index] << 8) | data[index + 1]
-    return fold_carries(total)
+    total = int.from_bytes(data, "big")
+    if total == 0:
+        return 0
+    folded = total % 0xFFFF
+    return folded if folded else 0xFFFF
 
 
 def fold_carries(total: int) -> int:

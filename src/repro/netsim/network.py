@@ -48,6 +48,9 @@ class Network:
         self.default_link = Link(latency=default_latency, loss_probability=default_loss)
         self._hosts: dict[str, Host] = {}
         self._links: dict[frozenset[str], Link] = {}
+        #: Per-(src, dst) resolution cache for link_between; invalidated by
+        #: set_link.  Avoids building a frozenset per delivered packet.
+        self._link_cache: dict[tuple[str, str], Link] = {}
         self._captures: list[PacketCapture] = []
         self._rng = simulator.spawn_rng()
         self.packets_transmitted = 0
@@ -94,6 +97,7 @@ class Network:
     def set_link(self, ip_a: str, ip_b: str, link: Link) -> None:
         """Override delivery parameters between two addresses."""
         self._links[frozenset((ip_a, ip_b))] = link
+        self._link_cache.clear()
 
     def link_between(self, ip_a: str, ip_b: str) -> Link:
         """The link used between two addresses (default if not overridden)."""
@@ -116,21 +120,24 @@ class Network:
         the real Internet does for unrouted addresses.
         """
         self.packets_transmitted += 1
-        if packet.dst not in self._hosts:
+        destination = self._hosts.get(packet.dst)
+        if destination is None:
             self.packets_dropped += 1
             return
-        link = self.link_between(packet.src, packet.dst)
+        cache_key = (packet.src, packet.dst)
+        link = self._link_cache.get(cache_key)
+        if link is None:
+            link = self.link_between(packet.src, packet.dst)
+            self._link_cache[cache_key] = link
         if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
             self.packets_dropped += 1
             return
-        destination = self._hosts[packet.dst]
-        for capture in self._captures:
-            capture.observe(packet, self.simulator.now)
-        self.simulator.schedule(
-            link.latency,
-            lambda: destination.receive(packet),
-            label=f"deliver {packet.src}->{packet.dst}",
-        )
+        if self._captures:
+            for capture in self._captures:
+                capture.observe(packet, self.simulator.now)
+        # Hot path: post the bound receive method with the packet as a
+        # positional argument — no per-packet closure, label or Event object.
+        self.simulator.post(link.latency, destination.receive, packet)
 
     def inject(self, packet: IPv4Packet, mark_spoofed: bool = True) -> None:
         """Off-path injection of a (typically source-spoofed) packet.

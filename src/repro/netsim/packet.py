@@ -14,12 +14,16 @@ import struct
 from dataclasses import dataclass, field, replace
 from enum import IntEnum
 
-from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.netsim.addresses import int_to_ip, ip_to_bytes
 from repro.netsim.checksum import internet_checksum
 from repro.netsim.errors import PacketError
 
 IPV4_HEADER_LEN = 20
 IPV4_MAX_PACKET = 65535
+
+#: Precompiled header codec — struct.Struct avoids re-parsing the format
+#: string on every encode/decode, which the per-packet hot path hits hard.
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
 
 
 class IPProtocol(IntEnum):
@@ -30,7 +34,7 @@ class IPProtocol(IntEnum):
     UDP = 17
 
 
-@dataclass
+@dataclass(slots=True)
 class IPv4Packet:
     """A (possibly fragmented) IPv4 packet.
 
@@ -103,21 +107,33 @@ class IPv4Packet:
         if self.more_fragments:
             flags |= 0x1
         flags_fragoff = (flags << 13) | self.fragment_offset
-        header_wo_checksum = struct.pack(
-            "!BBHHHBBH4s4s",
+        src_bytes = ip_to_bytes(self.src)
+        dst_bytes = ip_to_bytes(self.dst)
+        header_wo_checksum = _IPV4_HEADER.pack(
             version_ihl,
             0,
-            self.total_length,
+            IPV4_HEADER_LEN + len(self.payload),
             self.ipid,
             flags_fragoff,
             self.ttl,
             int(self.protocol),
             0,
-            ip_to_int(self.src).to_bytes(4, "big"),
-            ip_to_int(self.dst).to_bytes(4, "big"),
+            src_bytes,
+            dst_bytes,
         )
         checksum = internet_checksum(header_wo_checksum)
-        header = header_wo_checksum[:10] + struct.pack("!H", checksum) + header_wo_checksum[12:]
+        header = _IPV4_HEADER.pack(
+            version_ihl,
+            0,
+            IPV4_HEADER_LEN + len(self.payload),
+            self.ipid,
+            flags_fragoff,
+            self.ttl,
+            int(self.protocol),
+            checksum,
+            src_bytes,
+            dst_bytes,
+        )
         return header + self.payload
 
     @classmethod
@@ -136,7 +152,7 @@ class IPv4Packet:
             _checksum,
             src_bytes,
             dst_bytes,
-        ) = struct.unpack("!BBHHHBBH4s4s", data[:IPV4_HEADER_LEN])
+        ) = _IPV4_HEADER.unpack(data[:IPV4_HEADER_LEN])
         if version_ihl >> 4 != 4:
             raise PacketError("not an IPv4 packet")
         if total_length != len(data):

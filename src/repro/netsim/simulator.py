@@ -4,42 +4,105 @@ A single :class:`Simulator` instance drives every experiment: hosts, links,
 DNS resolvers, NTP clients, attackers and measurement scanners all schedule
 callbacks on the same virtual clock.  Time is a float measured in seconds.
 
-The event loop is deliberately small: a heap of ``(time, sequence, Event)``
-tuples, where the monotonically increasing sequence number makes ordering of
-same-time events deterministic (first scheduled, first executed).  All
-randomness in the simulation flows through the simulator's seeded
-``numpy.random.Generator`` so runs are reproducible bit-for-bit.
+The event loop is deliberately small and tuned for throughput.  The heap
+holds plain tuples so that ordering comparisons run at C speed inside
+:mod:`heapq` (floats and ints, never ``Event`` objects); two entry shapes
+coexist:
+
+* ``(time, sequence, event, _EVENT)`` — cancellable events returned by
+  :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`.  ``Event`` is a
+  ``__slots__`` class rather than a dataclass so creating one costs a single
+  small allocation.
+* ``(time, sequence, callback, arg)`` — anonymous fire-and-forget events
+  created by :meth:`Simulator.post`, carrying zero or one callback argument
+  (``arg`` is the ``_NO_ARG`` sentinel when there is none).  These skip the
+  ``Event`` allocation entirely and exist for the per-packet delivery path,
+  which schedules millions of events per experiment and never cancels one.
+
+The fourth element doubles as the discriminator (identity-compared
+sentinels), so the dispatch loop needs pointer comparisons, not isinstance
+checks, and posted callbacks are invoked with a fixed-arity call instead of
+argument-tuple unpacking.  Sequence numbers are unique, so tuple comparison
+never reaches the third element.  The monotonically increasing sequence
+number makes ordering of same-time events deterministic (first scheduled,
+first executed).  All randomness in the simulation flows through
+the simulator's seeded ``numpy.random.Generator`` so runs are reproducible
+bit-for-bit.
+
+Cancellation bookkeeping: cancelled events stay in the heap (removing an
+arbitrary heap entry is O(n)) and are skipped when popped, but
+:meth:`Event.cancel` bumps the simulator's cancelled-event counter at cancel
+time, so :meth:`Simulator.pending` (``scheduled - executed - cancelled``)
+reports the number of events that will actually fire — not the raw heap
+size.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Callable, Optional
 
 import numpy as np
 
 from repro.netsim.errors import SimulationError
 
+#: Heap-entry discriminator: fourth tuple element of cancellable entries.
+_EVENT = object()
+#: Sentinel for "posted callback takes no argument".
+_NO_ARG = object()
 
-@dataclass(order=True)
+
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, sequence)`` so that the heap pops them in
-    chronological order and, within the same instant, in scheduling order.
+    Events order by ``(time, sequence)``: chronological, and within the same
+    instant, in scheduling order.  ``args`` (when non-empty) are passed to
+    the callback positionally, which lets hot paths such as packet delivery
+    schedule a bound method plus its argument instead of building a fresh
+    closure per packet.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "callback", "args", "label", "cancelled", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        label: str = "",
+        sim: "Optional[Simulator]" = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so the loop skips it when popped."""
-        self.cancelled = True
+        """Mark the event so the loop skips it when popped.
+
+        Also bumps the owning simulator's cancelled-event counter, so
+        :meth:`Simulator.pending` stays accurate without the loop having to
+        purge the heap.  Cancelling twice — or cancelling an event that has
+        already fired, which callbacks that cancel their own timeout event
+        routinely do — is a no-op: the loop severs the event's simulator
+        reference at dispatch, so a late cancel cannot distort the count.
+        """
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._cancelled += 1
+                self._sim = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.sequence} {self.label!r}{state}>"
 
 
 class Simulator:
@@ -53,9 +116,24 @@ class Simulator:
         perturb each other when the topology changes.
     """
 
+    __slots__ = (
+        "_queue",
+        "_sequence",
+        "_cancelled",
+        "_now",
+        "_rng",
+        "_seed",
+        "_spawned",
+        "events_processed",
+    )
+
     def __init__(self, seed: int = 0) -> None:
-        self._queue: list[Event] = []
-        self._sequence = itertools.count()
+        # Heap of 4-tuples (see module docstring): tuple comparison keeps
+        # heap operations in C and never falls through to the third element
+        # because sequence numbers are unique.
+        self._queue: list[tuple] = []
+        self._sequence = 0
+        self._cancelled = 0
         self._now = 0.0
         self._rng = np.random.default_rng(seed)
         self._seed = seed
@@ -84,47 +162,112 @@ class Simulator:
     def schedule(
         self,
         delay: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         label: str = "",
+        args: tuple = (),
     ) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now.
 
         Returns the :class:`Event`, which can be cancelled.  Negative delays
-        are rejected because they would break causality.
+        are rejected because they would break causality.  ``args`` are passed
+        to the callback positionally when it fires.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, label)
+        when = self._now + delay
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        # Inline slot assignment instead of Event(...): this is the hottest
+        # allocation in the simulator and skipping the __init__ frame is a
+        # measurable share of per-event cost.
+        event = Event.__new__(Event)
+        event.time = when
+        event.sequence = sequence
+        event.callback = callback
+        event.args = args
+        event.label = label
+        event.cancelled = False
+        event._sim = self
+        heappush(self._queue, (when, sequence, event, _EVENT))
+        return event
 
     def schedule_at(
         self,
         when: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         label: str = "",
+        args: tuple = (),
     ) -> Event:
         """Schedule ``callback`` at absolute simulated time ``when``."""
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} (now is {self._now})"
             )
-        event = Event(when, next(self._sequence), callback, label)
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(when, sequence, callback, args, label, self)
+        heappush(self._queue, (when, sequence, event, _EVENT))
         return event
 
+    def post(self, delay: float, callback: Callable[..., None], arg=_NO_ARG) -> None:
+        """Schedule a fire-and-forget callback ``delay`` seconds from now.
+
+        The anonymous fast path: no :class:`Event` is allocated, so the
+        scheduled callback cannot be cancelled or labelled, and at most one
+        positional argument is supported (callbacks needing more state bind
+        it or use :meth:`schedule`).  This is what the per-packet delivery
+        path uses — it accounts for the bulk of all events in an experiment
+        and never cancels one.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        heappush(self._queue, (self._now + delay, sequence, callback, arg))
+
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events linger in the heap until popped, but they are
+        excluded from this count: every scheduled entry bumps the sequence
+        counter exactly once, so the number of events that will still fire is
+        ``scheduled - executed - cancelled``, maintained without touching a
+        counter on the per-event hot path.  (Before the fast-path rework this
+        reported the raw heap size, silently including cancelled events.)
+        """
+        return self._sequence - self.events_processed - self._cancelled
 
     def step(self) -> Optional[Event]:
-        """Process the next event, returning it, or None if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback()
+        """Process the next event, returning it, or None if the queue is empty.
+
+        Anonymous events posted via :meth:`post` are returned as a freshly
+        materialised (already-executed) :class:`Event` so callers can still
+        inspect time and callback.
+        """
+        queue = self._queue
+        while queue:
+            time_, sequence, target, arg = heappop(queue)
+            if arg is _EVENT:
+                event = target
+                if event.cancelled:
+                    continue
+                event._sim = None  # executed: a late cancel() must not count
+                self._now = time_
+                if event.args:
+                    event.callback(*event.args)
+                else:
+                    event.callback()
+                self.events_processed += 1
+                return event
+            self._now = time_
+            if arg is _NO_ARG:
+                target()
+                call_args: tuple = ()
+            else:
+                target(arg)
+                call_args = (arg,)
             self.events_processed += 1
-            return event
+            return Event(time_, sequence, target, call_args)
         return None
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -140,20 +283,50 @@ class Simulator:
 
         Returns the number of events processed by this call.
         """
+        queue = self._queue
         processed = 0
-        while self._queue:
+        if until is None and max_events is None:
+            # Hot path used by the experiment drivers: no bound checks inside
+            # the loop, just pop-skip-dispatch.  The live/processed counters
+            # are accumulated locally and reconciled when the loop exits (a
+            # callback reading them mid-run would see the values as of the
+            # last run()/step() boundary).
+            try:
+                while queue:
+                    time_, _sequence, target, arg = heappop(queue)
+                    if arg is _EVENT:
+                        if target.cancelled:
+                            continue
+                        target._sim = None  # executed: late cancel() is a no-op
+                        self._now = time_
+                        if target.args:
+                            target.callback(*target.args)
+                        else:
+                            target.callback()
+                        processed += 1
+                        continue
+                    self._now = time_
+                    if arg is _NO_ARG:
+                        target()
+                    else:
+                        target(arg)
+                    processed += 1
+            finally:
+                self.events_processed += processed
+            return processed
+        while queue:
             if max_events is not None and processed >= max_events:
                 break
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+            head = queue[0]
+            if head[3] is _EVENT and head[2].cancelled:
+                heappop(queue)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head[0] > until:
                 self._now = max(self._now, until)
                 break
             if self.step() is not None:
                 processed += 1
-        if until is not None and not self._queue:
+        if until is not None and not queue:
             self._now = max(self._now, until)
         return processed
 

@@ -13,14 +13,18 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from repro.netsim.addresses import ip_to_int
+from repro.netsim.addresses import ip_to_bytes
 from repro.netsim.checksum import internet_checksum
 from repro.netsim.errors import PacketError
 
 UDP_HEADER_LEN = 8
 
+#: Precompiled codecs for the per-datagram hot path.
+_UDP_HEADER = struct.Struct("!HHHH")
+_PSEUDO_HEADER = struct.Struct("!4s4sBBH")
 
-@dataclass
+
+@dataclass(slots=True)
 class UDPDatagram:
     """A UDP datagram (header fields plus application payload)."""
 
@@ -41,10 +45,9 @@ class UDPDatagram:
 
 def _pseudo_header(src_ip: str, dst_ip: str, udp_length: int) -> bytes:
     """The IPv4 pseudo-header included in the UDP checksum."""
-    return struct.pack(
-        "!4s4sBBH",
-        ip_to_int(src_ip).to_bytes(4, "big"),
-        ip_to_int(dst_ip).to_bytes(4, "big"),
+    return _PSEUDO_HEADER.pack(
+        ip_to_bytes(src_ip),
+        ip_to_bytes(dst_ip),
         0,
         17,
         udp_length,
@@ -53,11 +56,10 @@ def _pseudo_header(src_ip: str, dst_ip: str, udp_length: int) -> bytes:
 
 def udp_checksum(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> int:
     """Compute the UDP checksum for a datagram between two IPv4 addresses."""
-    header = struct.pack(
-        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, 0
-    )
+    length = UDP_HEADER_LEN + len(datagram.payload)
+    header = _UDP_HEADER.pack(datagram.src_port, datagram.dst_port, length, 0)
     checksum = internet_checksum(
-        _pseudo_header(src_ip, dst_ip, datagram.length) + header + datagram.payload
+        _pseudo_header(src_ip, dst_ip, length) + header + datagram.payload
     )
     # RFC 768: a computed checksum of zero is transmitted as all ones.
     return checksum if checksum != 0 else 0xFFFF
@@ -66,8 +68,8 @@ def udp_checksum(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> int:
 def encode_udp(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> bytes:
     """Encode a datagram (header + payload) with its checksum filled in."""
     checksum = udp_checksum(src_ip, dst_ip, datagram)
-    header = struct.pack(
-        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, checksum
+    header = _UDP_HEADER.pack(
+        datagram.src_port, datagram.dst_port, datagram.length, checksum
     )
     return header + datagram.payload
 
@@ -84,7 +86,7 @@ def decode_udp(
     """
     if len(data) < UDP_HEADER_LEN:
         raise PacketError("truncated UDP header")
-    src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:UDP_HEADER_LEN])
+    src_port, dst_port, length, checksum = _UDP_HEADER.unpack(data[:UDP_HEADER_LEN])
     if length != len(data):
         raise PacketError(f"UDP length mismatch: field={length}, actual={len(data)}")
     datagram = UDPDatagram(src_port, dst_port, data[UDP_HEADER_LEN:])

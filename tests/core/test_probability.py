@@ -104,3 +104,31 @@ class TestExpectedAttempts:
         vulnerable state at any time."""
         attempts = expected_attempts_until_success(probability_scenario2(6, 4))
         assert 6 < attempts < 7
+
+
+class TestSharedMatrixMonteCarlo:
+    """monte_carlo_table3: one (trials, m) RNG pass reused across all rows."""
+
+    def test_agrees_with_closed_forms_on_every_row(self):
+        from repro.core.probability import monte_carlo_table3
+
+        estimates = monte_carlo_table3(trials=200_000)
+        for m, (mc_p1, mc_p2) in estimates.items():
+            n = required_removals(m)
+            assert mc_p1 == pytest.approx(probability_scenario1(n), abs=0.005)
+            assert mc_p2 == pytest.approx(probability_scenario2(m, n), abs=0.005)
+
+    def test_covers_requested_rows(self):
+        from repro.core.probability import monte_carlo_table3
+
+        assert set(monte_carlo_table3(m_values=[2, 5], trials=1_000)) == {2, 5}
+        assert monte_carlo_table3(m_values=[]) == {}
+
+    def test_single_rng_pass_is_deterministic(self):
+        import numpy as np
+
+        from repro.core.probability import monte_carlo_table3
+
+        first = monte_carlo_table3(trials=10_000, rng=np.random.default_rng(7))
+        second = monte_carlo_table3(trials=10_000, rng=np.random.default_rng(7))
+        assert first == second

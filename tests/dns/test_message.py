@@ -148,3 +148,50 @@ class TestResponseCapacity:
         padded = query.make_response(answers=[a_record("pool.ntp.org", "1.1.1.1")])
         padded.additional.append(txt_record("info.pool.ntp.org", "x" * 200))
         assert len(padded.encode()) > len(small.encode()) + 200
+
+
+class TestRecordOffsetsTruncation:
+    """record_offsets must reject truncated input with MessageError.
+
+    The seed implementation read ``data[cursor:cursor+10]`` without a bounds
+    check, so truncated messages escaped as ``struct.error`` instead of the
+    documented :class:`MessageError`.
+    """
+
+    def _wire(self):
+        query = DNSMessage.query("pool.ntp.org", txid=7)
+        response = query.make_response(
+            answers=[a_record("pool.ntp.org", "203.0.113.1", ttl=150)]
+        )
+        response.authority.append(ns_record("pool.ntp.org", "ns1.pool.ntp.org"))
+        return response.encode()
+
+    def test_full_message_is_accepted(self):
+        assert len(record_offsets(self._wire())) == 2
+
+    def test_every_truncation_raises_dns_error(self):
+        # Any cut point must surface as the documented DNSError hierarchy
+        # (MessageError for structure, NameError_ inside a name) — never as
+        # a bare struct.error.
+        from repro.dns.errors import DNSError
+
+        wire = self._wire()
+        for cut in range(len(wire)):
+            with pytest.raises(DNSError):
+                record_offsets(wire[:cut])
+
+    def test_truncated_fixed_fields_raise_message_error(self):
+        wire = self._wire()
+        offsets = record_offsets(wire)
+        # Cut inside the 10-byte (type, class, ttl, rdlength) block of the
+        # first record: exactly the read the seed performed unguarded.
+        cut = offsets[0].type_offset + 5
+        with pytest.raises(MessageError):
+            record_offsets(wire[:cut])
+
+    def test_truncated_rdata_raises_message_error(self):
+        wire = self._wire()
+        offsets = record_offsets(wire)
+        cut = offsets[0].rdata_offset + offsets[0].rdlength - 1
+        with pytest.raises(MessageError):
+            record_offsets(wire[:cut])

@@ -150,3 +150,65 @@ class TestPoolNameserver:
         self.make_pool_ns(ns_host)
         response = query_over_network(sim, client, "198.51.100.10", "pool.ntp.org", RRType.NS)
         assert any(r.rtype is RRType.NS for r in response.answers)
+
+
+class TestEncodedResponseCache:
+    """Identical responses are encoded once and replayed with a fresh TXID."""
+
+    def make_server(self, ns_host):
+        zone = Zone(origin="example.org")
+        zone.add(a_record("www.example.org", "192.0.2.80"))
+        zone.add(ns_record("example.org", "ns1.example.org"))
+        zone.add(a_record("ns1.example.org", "198.51.100.10"))
+        return AuthoritativeNameserver(ns_host, zones=[zone])
+
+    def test_cached_bytes_identical_to_fresh_encode(self):
+        sim, net, ns_host, client = build_env()
+        server = self.make_server(ns_host)
+        query = DNSMessage.query("www.example.org", txid=0x1111)
+        response = server.build_response(query)
+        first = server.encode_response(response)
+        assert server.stats.encode_cache_misses == 1
+        second = server.encode_response(server.build_response(query))
+        assert server.stats.encode_cache_hits == 1
+        assert second == first == response.encode()
+
+    def test_txid_is_patched_per_query(self):
+        sim, net, ns_host, client = build_env()
+        server = self.make_server(ns_host)
+        wire_a = server.encode_response(
+            server.build_response(DNSMessage.query("www.example.org", txid=0x0A0A))
+        )
+        wire_b = server.encode_response(
+            server.build_response(DNSMessage.query("www.example.org", txid=0x0B0B))
+        )
+        assert wire_a[:2] == b"\x0a\x0a" and wire_b[:2] == b"\x0b\x0b"
+        assert wire_a[2:] == wire_b[2:]
+        assert DNSMessage.decode(wire_b).txid == 0x0B0B
+
+    def test_fixed_rotation_pool_reuses_encoding(self):
+        sim, net, ns_host, client = build_env()
+        pool = PoolNameserver(
+            ns_host,
+            address_range("203.0.113.1", 16),
+            rotation="fixed",
+            rng=np.random.default_rng(0),
+        )
+        for txid in (1, 2, 3):
+            query_over_network(sim, client, "198.51.100.10", "pool.ntp.org")
+        assert pool.stats.encode_cache_misses == 1
+        assert pool.stats.encode_cache_hits == 2
+
+    def test_different_answers_do_not_share_cache_entries(self):
+        sim, net, ns_host, client = build_env()
+        pool = PoolNameserver(
+            ns_host,
+            address_range("203.0.113.1", 64),
+            rotation="random",
+            rng=np.random.default_rng(0),
+        )
+        first = query_over_network(sim, client, "198.51.100.10", "pool.ntp.org")
+        second = query_over_network(sim, client, "198.51.100.10", "pool.ntp.org")
+        # Random rotation drew different address sets, so the responses must
+        # differ (not be served from one stale cache entry).
+        assert [str(r.data) for r in first.answers] != [str(r.data) for r in second.answers]

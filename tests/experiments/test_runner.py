@@ -1,0 +1,158 @@
+"""Tests for the experiment engine: grids, execution, aggregation, persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    ExperimentRunner,
+    RunSpec,
+    get_scenario,
+    make_grid,
+    outcomes_table,
+    scenario,
+    write_bench_json,
+)
+from repro.experiments.runner import timings_summary
+
+# Register tiny scenarios for these tests.  Registration is module-global,
+# so names are prefixed to avoid clashing with real scenarios.
+
+
+@scenario("_test_square")
+def _square(x: int = 2) -> int:
+    return x * x
+
+
+@scenario("_test_boom")
+def _boom() -> None:
+    raise RuntimeError("intentional failure")
+
+
+class TestRunSpec:
+    def test_make_sorts_params(self):
+        spec = RunSpec.make("s", b=2, a=1)
+        assert spec.params == (("a", 1), ("b", 2))
+        assert spec.kwargs() == {"a": 1, "b": 2}
+
+    def test_label(self):
+        assert RunSpec.make("s", a=1).label == "s[a=1]"
+        assert RunSpec.make("s").label == "s"
+
+    def test_hashable(self):
+        assert len({RunSpec.make("s", a=1), RunSpec.make("s", a=1)}) == 1
+
+
+class TestGrid:
+    def test_cross_product_row_major(self):
+        grid = make_grid("s", a=[1, 2], b=["x", "y"])
+        assert [spec.kwargs() for spec in grid] == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_axis_yields_no_specs(self):
+        assert make_grid("s", a=[]) == []
+
+
+class TestRegistry:
+    def test_get_known(self):
+        assert get_scenario("_test_square")(x=3) == 9
+
+    def test_get_unknown_raises_with_listing(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            scenario("_test_square")(lambda: None)
+
+
+class TestRunnerSerial:
+    def test_runs_in_declaration_order(self):
+        runner = ExperimentRunner(max_workers=1)
+        outcomes = runner.run(make_grid("_test_square", x=[3, 1, 2]))
+        assert [outcome.result for outcome in outcomes] == [9, 1, 4]
+        assert all(outcome.ok for outcome in outcomes)
+        assert runner.last_execution_mode == "serial"
+
+    def test_errors_are_captured_not_raised(self):
+        outcomes = ExperimentRunner(max_workers=1).run(
+            [RunSpec.make("_test_boom"), RunSpec.make("_test_square", x=5)]
+        )
+        assert not outcomes[0].ok
+        assert "RuntimeError: intentional failure" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].result == 25
+
+    def test_wall_time_recorded(self):
+        outcome = ExperimentRunner(max_workers=1).run([RunSpec.make("_test_square")])[0]
+        assert outcome.wall_time > 0
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(max_workers=0)
+
+
+class TestRunnerParallel:
+    def test_process_pool_matches_serial(self):
+        # Uses a scenario registered in repro.experiments.scenarios (worker
+        # processes re-import the registry; test-local scenarios don't exist
+        # there).
+        specs = [
+            RunSpec.make("table3_probabilities", trials=20_000, m_max=3),
+            RunSpec.make("table3_probabilities", trials=20_000, m_max=5),
+        ]
+        serial = ExperimentRunner(max_workers=1).run(specs)
+        parallel = ExperimentRunner(max_workers=2).run(specs)
+        assert [o.result for o in serial] == [o.result for o in parallel]
+
+
+class TestReporting:
+    def test_outcomes_table_renders(self):
+        outcomes = ExperimentRunner(max_workers=1).run(make_grid("_test_square", x=[2, 3]))
+        table = outcomes_table(
+            outcomes,
+            [("x", lambda o: o.spec.kwargs()["x"]), ("x^2", lambda o: o.result)],
+            title="squares",
+        )
+        assert "squares" in table
+        assert "x^2" in table
+        assert "9" in table
+
+    def test_timings_summary_shape(self):
+        outcomes = ExperimentRunner(max_workers=1).run([RunSpec.make("_test_square")])
+        summary = timings_summary(outcomes)
+        assert summary["runs"][0]["ok"] is True
+        assert summary["total_wall_time_seconds"] >= 0
+
+
+class TestBenchJson:
+    def test_write_creates_document(self, tmp_path):
+        path = tmp_path / "BENCH_netsim.json"
+        document = write_bench_json(
+            str(path), microbenchmarks={"events_per_sec": 1000}
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk["schema"] == "repro-bench/1"
+        assert on_disk["microbenchmarks"] == {"events_per_sec": 1000}
+        assert document == on_disk
+
+    def test_sections_update_independently(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_bench_json(path, microbenchmarks={"a": 1})
+        write_bench_json(path, experiments={"b": 2})
+        on_disk = json.loads(open(path).read())
+        # The microbenchmarks section written first must survive the second
+        # call, which only refreshed the experiments section.
+        assert on_disk["microbenchmarks"] == {"a": 1}
+        assert on_disk["experiments"] == {"b": 2}
+
+    def test_corrupt_existing_file_is_replaced(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        write_bench_json(str(path), microbenchmarks={"a": 1})
+        assert json.loads(path.read_text())["microbenchmarks"] == {"a": 1}

@@ -110,3 +110,140 @@ class TestRandomness:
         a = Simulator(seed=9).spawn_rng().integers(0, 1 << 30)
         b = Simulator(seed=9).spawn_rng().integers(0, 1 << 30)
         assert a == b
+
+
+class TestLiveEventAccounting:
+    """pending() counts events that will actually fire, not heap entries."""
+
+    def test_cancel_decrements_pending_immediately(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(5)]
+        assert sim.pending() == 5
+        events[2].cancel()
+        assert sim.pending() == 4
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        other = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+        other.cancel()
+        assert sim.pending() == 0
+
+    def test_pending_reaches_zero_after_run(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None).cancel()
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 4
+
+    def test_cancelled_events_still_skipped_when_popped(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(2.0, lambda: fired.append("keep"))
+        sim.schedule(1.0, lambda: fired.append("dropped")).cancel()
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.time == 2.0
+
+
+class TestPost:
+    """The anonymous fire-and-forget fast path."""
+
+    def test_post_runs_in_time_order_with_scheduled_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("scheduled"))
+        sim.post(1.0, order.append, "posted-early")
+        sim.post(3.0, order.append, "posted-late")
+        sim.run()
+        assert order == ["posted-early", "scheduled", "posted-late"]
+
+    def test_same_time_post_and_schedule_run_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.post(1.0, order.append, "first")
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.post(1.0, order.append, "third")
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_post_without_argument(self):
+        sim = Simulator()
+        fired = []
+        sim.post(0.5, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_post_counts_as_pending_and_processed(self):
+        sim = Simulator()
+        sim.post(1.0, lambda: None)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 1
+
+    def test_post_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.post(-0.1, lambda: None)
+
+    def test_step_materialises_event_for_posted_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.5, fired.append, "x")
+        event = sim.step()
+        assert fired == ["x"]
+        assert event is not None and event.time == 1.5
+
+    def test_run_until_respects_posted_events(self):
+        sim = Simulator()
+        fired = []
+        sim.post(1.0, fired.append, 1)
+        sim.post(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1, 10]
+
+
+class TestCancelAfterExecution:
+    """Cancelling an event that already fired must not distort pending().
+
+    Production callbacks do exactly this: the resolver cancels its timeout
+    event from inside that event's own callback.
+    """
+
+    def test_cancel_after_run_is_a_no_op(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        event.cancel()
+        assert sim.pending() == 0
+
+    def test_cancel_own_event_from_inside_callback(self):
+        sim = Simulator()
+        events = []
+
+        def fire():
+            events[0].cancel()  # what resolver timeout handling does
+
+        events.append(sim.schedule(1.0, fire))
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 2
+
+    def test_cancel_after_step_is_a_no_op(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert sim.step() is event
+        event.cancel()
+        assert sim.pending() == 0

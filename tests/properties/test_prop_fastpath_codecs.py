@@ -1,0 +1,253 @@
+"""Fast-path codec equivalence: the rework must be byte-identical to the seed.
+
+The netsim fast path replaced the seed's encoding routines (per-call struct
+format strings, slice-and-concat header assembly, Python word-loop checksum,
+uncached name encoding) with precompiled/cached variants.  These property
+tests pin the new implementations against *reference copies of the seed
+implementations* embedded below, plus full round-trips, so any divergence —
+however small — fails loudly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import DNSHeaderFlags, DNSMessage
+from repro.dns.names import encode_name
+from repro.dns.records import a_record
+from repro.netsim.addresses import int_to_ip, ip_to_int
+from repro.netsim.checksum import internet_checksum, ones_complement_sum
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.udp import UDPDatagram, decode_udp, encode_udp, udp_checksum
+
+# ----------------------------------------------------------------- strategies
+octet = st.integers(min_value=0, max_value=255)
+ip_addresses = st.builds(lambda a, b, c, d: f"{a}.{b}.{c}.{d}", octet, octet, octet, octet)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+payloads = st.binary(min_size=0, max_size=256)
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+).filter(lambda l: not l.startswith("-"))
+names = st.lists(labels, min_size=1, max_size=4).map(".".join)
+
+
+# ------------------------------------------------- reference (seed) encoders
+def seed_ones_complement_sum(data: bytes) -> int:
+    """Verbatim seed word loop (git fc48653, netsim/checksum.py)."""
+    if len(data) % 2 == 1:
+        data = data + b"\x00"
+    total = 0
+    for index in range(0, len(data), 2):
+        total += (data[index] << 8) | data[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def seed_ipv4_encode(packet: IPv4Packet) -> bytes:
+    """Verbatim seed header assembly (slice-and-concat checksum patch)."""
+    version_ihl = (4 << 4) | 5
+    flags = 0
+    if packet.dont_fragment:
+        flags |= 0x2
+    if packet.more_fragments:
+        flags |= 0x1
+    flags_fragoff = (flags << 13) | packet.fragment_offset
+    header_wo_checksum = struct.pack(
+        "!BBHHHBBH4s4s",
+        version_ihl,
+        0,
+        packet.total_length,
+        packet.ipid,
+        flags_fragoff,
+        packet.ttl,
+        int(packet.protocol),
+        0,
+        ip_to_int(packet.src).to_bytes(4, "big"),
+        ip_to_int(packet.dst).to_bytes(4, "big"),
+    )
+    checksum = (~seed_ones_complement_sum(header_wo_checksum)) & 0xFFFF
+    header = header_wo_checksum[:10] + struct.pack("!H", checksum) + header_wo_checksum[12:]
+    return header + packet.payload
+
+
+def seed_udp_encode(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> bytes:
+    """Verbatim seed UDP encoding (per-call struct formats)."""
+    pseudo = struct.pack(
+        "!4s4sBBH",
+        ip_to_int(src_ip).to_bytes(4, "big"),
+        ip_to_int(dst_ip).to_bytes(4, "big"),
+        0,
+        17,
+        datagram.length,
+    )
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, 0
+    )
+    checksum = (~seed_ones_complement_sum(pseudo + header + datagram.payload)) & 0xFFFF
+    checksum = checksum if checksum != 0 else 0xFFFF
+    header = struct.pack(
+        "!HHHH", datagram.src_port, datagram.dst_port, datagram.length, checksum
+    )
+    return header + datagram.payload
+
+
+def seed_encode_name(name, compression, offset):
+    """Verbatim seed name encoder (per-call split/join, no caching)."""
+    if name == "":
+        return b"\x00"
+    labels_ = name.split(".")
+    encoded = bytearray()
+    for index in range(len(labels_)):
+        suffix = ".".join(labels_[index:])
+        if compression is not None and suffix in compression:
+            pointer = compression[suffix]
+            encoded += bytes([0xC0 | (pointer >> 8), pointer & 0xFF])
+            return bytes(encoded)
+        if compression is not None and offset + len(encoded) < 0x3FFF:
+            compression[suffix] = offset + len(encoded)
+        label = labels_[index].encode("ascii")
+        encoded += bytes([len(label)]) + label
+    encoded += b"\x00"
+    return bytes(encoded)
+
+
+# ------------------------------------------------------------------ checksums
+class TestChecksumEquivalence:
+    @given(payloads)
+    @settings(max_examples=300)
+    def test_ones_complement_sum_matches_seed_word_loop(self, data):
+        assert ones_complement_sum(data) == seed_ones_complement_sum(data)
+
+    @given(payloads)
+    def test_internet_checksum_matches_seed(self, data):
+        assert internet_checksum(data) == (~seed_ones_complement_sum(data)) & 0xFFFF
+
+    def test_multiple_of_0xffff_folds_to_0xffff_not_zero(self):
+        # The regression the modulo trick could have introduced: a positive
+        # sum that is an exact multiple of 0xFFFF folds to 0xFFFF.
+        assert ones_complement_sum(b"\xff\xff") == 0xFFFF
+        assert ones_complement_sum(b"\xff\xfe\x00\x01") == 0xFFFF
+        assert ones_complement_sum(b"") == 0
+        assert ones_complement_sum(b"\x00\x00") == 0
+
+
+# ----------------------------------------------------------------- IPv4 codec
+class TestIPv4Equivalence:
+    @given(
+        src=ip_addresses,
+        dst=ip_addresses,
+        payload=payloads,
+        ipid=st.integers(min_value=0, max_value=0xFFFF),
+        ttl=st.integers(min_value=0, max_value=255),
+        df=st.booleans(),
+        mf=st.booleans(),
+        frag=st.integers(min_value=0, max_value=0x1FFF),
+    )
+    @settings(max_examples=300)
+    def test_encode_matches_seed_and_round_trips(
+        self, src, dst, payload, ipid, ttl, df, mf, frag
+    ):
+        packet = IPv4Packet(
+            src=src,
+            dst=dst,
+            protocol=IPProtocol.UDP,
+            payload=payload,
+            ipid=ipid,
+            ttl=ttl,
+            dont_fragment=df,
+            more_fragments=mf,
+            fragment_offset=frag,
+        )
+        wire = packet.encode()
+        assert wire == seed_ipv4_encode(packet)
+        decoded = IPv4Packet.decode(wire)
+        assert decoded.src == src and decoded.dst == dst
+        assert decoded.payload == payload
+        assert decoded.ipid == ipid and decoded.ttl == ttl
+        assert decoded.dont_fragment == df and decoded.more_fragments == mf
+        assert decoded.fragment_offset == frag
+
+
+# ------------------------------------------------------------------ UDP codec
+class TestUDPEquivalence:
+    @given(src=ip_addresses, dst=ip_addresses, sport=ports, dport=ports, payload=payloads)
+    @settings(max_examples=300)
+    def test_encode_matches_seed_and_round_trips(self, src, dst, sport, dport, payload):
+        datagram = UDPDatagram(sport, dport, payload)
+        wire = encode_udp(src, dst, datagram)
+        assert wire == seed_udp_encode(src, dst, datagram)
+        decoded = decode_udp(src, dst, wire)
+        assert decoded == datagram
+
+    @given(src=ip_addresses, dst=ip_addresses, payload=payloads)
+    def test_checksum_never_zero_on_wire(self, src, dst, payload):
+        assert udp_checksum(src, dst, UDPDatagram(1, 2, payload)) != 0
+
+
+# ------------------------------------------------------------------ addresses
+class TestAddressCacheEquivalence:
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_int_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+    @given(ip_addresses)
+    def test_string_round_trip(self, address):
+        assert int_to_ip(ip_to_int(address)) == address
+
+
+# ------------------------------------------------------------------ DNS codec
+class TestDNSNameEquivalence:
+    @given(st.lists(names, min_size=1, max_size=6))
+    @settings(max_examples=300)
+    def test_compressed_encoding_matches_seed(self, name_list):
+        # Encode the same sequence of names through both implementations,
+        # sharing one evolving compression map each, as message encoding does.
+        fast_compression: dict[str, int] = {}
+        seed_compression: dict[str, int] = {}
+        offset = 12
+        for name in name_list:
+            fast = encode_name(name, fast_compression, offset)
+            seed = seed_encode_name(name, seed_compression, offset)
+            assert fast == seed
+            assert fast_compression == seed_compression
+            offset += len(fast) + 4
+
+    @given(names)
+    def test_uncompressed_encoding_matches_seed(self, name):
+        assert encode_name(name, None, 0) == seed_encode_name(name, None, 0)
+
+
+class TestDNSMessageRoundTrip:
+    @given(
+        qname=names,
+        txid=st.integers(min_value=0, max_value=0xFFFF),
+        addresses=st.lists(ip_addresses, min_size=1, max_size=8),
+        ttl=st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=200)
+    def test_response_round_trips_bytewise(self, qname, txid, addresses, ttl):
+        query = DNSMessage.query(qname, txid=txid)
+        response = query.make_response(
+            answers=[a_record(qname, address, ttl=ttl) for address in addresses]
+        )
+        wire = response.encode()
+        decoded = DNSMessage.decode(wire)
+        # Re-encoding the decoded message must reproduce the exact bytes:
+        # encode and decode are mutual inverses on compressed messages.
+        assert decoded.encode() == wire
+        assert decoded.txid == txid
+        assert [str(r.data) for r in decoded.answers] == addresses
+
+    @given(qname=names, txid=st.integers(min_value=0, max_value=0xFFFF))
+    def test_flags_survive_round_trip(self, qname, txid):
+        message = DNSMessage(
+            txid=txid,
+            flags=DNSHeaderFlags(qr=True, aa=True, ra=True),
+            questions=[],
+        )
+        assert DNSMessage.decode(message.encode()).flags == message.flags
