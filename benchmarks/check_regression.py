@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Guard against throughput regressions versus the committed bench JSON.
+
+Compares headline throughput metrics of a fresh benchmark run against the
+committed ``BENCH_netsim.json`` baseline and exits non-zero when any metric
+regressed by more than the threshold (default 20%).  Metrics present in only
+one of the two documents are reported but never fail the check, so adding or
+renaming bench fields does not break the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py
+        [--baseline PATH] [--threshold 0.2] [--rounds N]
+
+``run_benchmarks.py`` wires this in automatically: after refreshing the JSON
+it diffs the new document against the previously committed one and fails the
+benchmark run on regression (``--no-check`` to skip).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+#: Headline higher-is-better metrics, as key paths into the bench document.
+THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
+    ("microbenchmarks", "packets_per_sec"),
+    ("microbenchmarks", "dns_encode_ops_per_sec"),
+    ("microbenchmarks", "dns_decode_ops_per_sec"),
+    ("microbenchmarks", "dns_decode_cold_ops_per_sec"),
+    ("microbenchmarks", "ntp_encode_ops_per_sec"),
+    ("microbenchmarks", "ntp_decode_ops_per_sec"),
+    ("microbenchmarks", "event_loop", "delivery", "fast_events_per_sec"),
+    ("microbenchmarks", "event_loop", "schedule_drain", "fast_events_per_sec"),
+    ("microbenchmarks", "event_loop", "timer_chain", "fast_events_per_sec"),
+    ("experiments", "table2_ntpd_p1", "result", "events_per_wall_second"),
+)
+
+#: Default tolerated fractional slowdown per metric.
+DEFAULT_THRESHOLD = 0.20
+
+
+def extract(document: dict[str, Any], path: tuple[str, ...]) -> Optional[float]:
+    """Walk ``path`` into ``document``; None when any key is missing."""
+    node: Any = document
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[str], list[str]]:
+    """Diff the two documents; returns ``(regressions, notes)``.
+
+    A regression is a metric whose fresh value is more than ``threshold``
+    below the baseline.  Notes cover skipped metrics and improvements.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path in THROUGHPUT_METRICS:
+        name = ".".join(path)
+        old = extract(baseline, path)
+        new = extract(fresh, path)
+        if old is None or new is None or old <= 0:
+            notes.append(f"skipped {name} (missing in baseline or fresh run)")
+            continue
+        change = (new - old) / old
+        if change < -threshold:
+            regressions.append(
+                f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
+                f"threshold -{threshold:.0%})"
+            )
+        else:
+            notes.append(f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%})")
+    return regressions, notes
+
+
+def load_document(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(REPO_ROOT, "BENCH_netsim.json"),
+        help="committed benchmark JSON to compare against",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated fractional slowdown per metric (default 0.2)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="best-of rounds for the fresh run"
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; nothing to compare")
+        return 0
+    baseline = load_document(args.baseline)
+
+    from bench_micro_netsim import run_micro_benchmarks
+    from run_benchmarks import run_end_to_end
+
+    print(f"running fresh benchmarks (best of {args.rounds})...", flush=True)
+    fresh = {
+        "microbenchmarks": run_micro_benchmarks(rounds=args.rounds),
+        "experiments": {"table2_ntpd_p1": run_end_to_end(max_workers=1)},
+    }
+    regressions, notes = compare(baseline, fresh, threshold=args.threshold)
+    for note in notes:
+        print(f"  ok: {note}")
+    for regression in regressions:
+        print(f"  REGRESSION: {regression}")
+    if regressions:
+        print(f"{len(regressions)} metric(s) regressed beyond {args.threshold:.0%}")
+        return 1
+    print("no throughput regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

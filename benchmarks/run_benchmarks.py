@@ -31,11 +31,17 @@ from repro.experiments import ExperimentRunner, RunSpec, write_bench_json  # noq
 from repro.experiments.runner import timings_summary  # noqa: E402
 
 from bench_micro_netsim import run_micro_benchmarks  # noqa: E402
+from check_regression import compare  # noqa: E402
 
 
 def run_end_to_end(max_workers: int | None) -> dict:
-    """One fixed-seed Table II cell (ntpd / P1) through the engine."""
-    runner = ExperimentRunner(max_workers=max_workers)
+    """One fixed-seed Table II cell (ntpd / P1) through the engine.
+
+    Runs with per-stage counters enabled, so the persisted summary carries
+    ``stage_time_shares`` — the decode/encode/dispatch split future PRs use
+    to find the next bottleneck.
+    """
+    runner = ExperimentRunner(max_workers=max_workers, collect_stage_stats=True)
     outcomes = runner.run(
         [RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)]
     )
@@ -73,10 +79,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="single round per microbenchmark"
     )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the regression diff against the previously committed JSON",
+    )
+    parser.add_argument(
+        "--check-threshold",
+        type=float,
+        default=0.2,
+        help="tolerated fractional slowdown per metric (default 0.2)",
+    )
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     rounds = 1 if args.quick else args.rounds
+
+    baseline = None
+    if not args.no_check and os.path.exists(args.output):
+        try:
+            with open(args.output, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            baseline = None
 
     print(f"running microbenchmarks (best of {rounds})...", flush=True)
     micro = run_micro_benchmarks(rounds=rounds)
@@ -85,6 +110,26 @@ def main(argv: list[str] | None = None) -> int:
     print("running end-to-end scenario (Table II, ntpd/P1, seed 5)...", flush=True)
     end_to_end = run_end_to_end(args.workers)
     print(json.dumps(end_to_end, indent=2))
+
+    # Gate BEFORE overwriting: a failing run must leave the committed
+    # baseline intact, otherwise an immediate rerun would compare the fresh
+    # numbers against the regressed ones and silently pass.
+    if baseline is not None:
+        fresh = {
+            "microbenchmarks": micro,
+            "experiments": {"table2_ntpd_p1": end_to_end},
+        }
+        regressions, _notes = compare(baseline, fresh, threshold=args.check_threshold)
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        if regressions:
+            print(
+                f"{len(regressions)} metric(s) regressed beyond "
+                f"{args.check_threshold:.0%} of the committed baseline; "
+                f"{args.output} left unchanged"
+            )
+            return 1
+        print("regression check: ok (vs previously committed JSON)")
 
     document = write_bench_json(
         args.output,

@@ -109,24 +109,23 @@ class AssociationRemover:
     def _send_spoofed_query(self, campaign: RemovalCampaign) -> None:
         if not campaign.active:
             return
-        query = NTPPacket.client_query(self.simulator.now)
         datagram = UDPDatagram(
-            src_port=NTP_PORT, dst_port=NTP_PORT, payload=query.encode()
+            src_port=NTP_PORT,
+            dst_port=NTP_PORT,
+            payload=NTPPacket.client_query_wire(self.simulator.now),
         )
         payload = encode_udp(self.victim_ip, campaign.server_ip, datagram)
-        packet = IPv4Packet(
-            src=self.victim_ip,
-            dst=campaign.server_ip,
-            protocol=IPProtocol.UDP,
-            payload=payload,
-            ipid=campaign.queries_sent & 0xFFFF,
+        packet = IPv4Packet.udp(
+            self.victim_ip,
+            campaign.server_ip,
+            payload,
+            campaign.queries_sent & 0xFFFF,
         )
         campaign.queries_sent += 1
         self.stats.spoofed_queries_sent += 1
         self.attacker.stats.spoofed_ntp_queries_sent += 1
         self.attacker.inject(packet)
-        self.simulator.schedule(
-            self.query_interval,
-            lambda: self._send_spoofed_query(campaign),
-            label=f"spoofed-ntp {campaign.server_ip}",
-        )
+        # Fire-and-forget rescheduling: this loop sends tens of thousands of
+        # queries per campaign and never cancels one, so it uses the
+        # anonymous fast path instead of a fresh closure + f-string label.
+        self.simulator.post(self.query_interval, self._send_spoofed_query, campaign)

@@ -23,6 +23,7 @@ from repro.core.attacker import Attacker
 from repro.dns.message import DNSMessage
 from repro.dns.records import RRType
 from repro.netsim.simulator import Simulator
+from repro.ntp.errors import NTPPacketError
 from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
 
 
@@ -102,7 +103,7 @@ def discover_via_refid_leak(
             return
         try:
             response = NTPPacket.decode(payload)
-        except ValueError:
+        except NTPPacketError:
             return
         if response.mode is not NTPMode.SERVER:
             return

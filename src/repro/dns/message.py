@@ -11,12 +11,13 @@ technique — both live in the *first* fragment of a fragmented response.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import IntEnum
 
 from repro.dns.errors import MessageError
-from repro.dns.names import decode_name, encode_name, normalize_name
+from repro.dns.names import decode_name, encode_name, normalize_name, skip_name
 from repro.dns.records import ResourceRecord, RRClass, RRType
+from repro.perf import STAGES, perf_counter
 
 DNS_HEADER_LEN = 12
 
@@ -24,6 +25,20 @@ DNS_HEADER_LEN = 12
 _DNS_HEADER = struct.Struct("!HHHHHH")
 _QUESTION_FIXED = struct.Struct("!HH")
 _RR_FIXED = struct.Struct("!HHIH")
+
+#: Enum lookup tables: a dict hit is markedly cheaper than the Enum call in
+#: the per-record decode path; misses fall back to the Enum constructor so
+#: unknown values raise exactly the seed's ``ValueError``.
+_RRTYPE_BY_VALUE = {int(rtype): rtype for rtype in RRType}
+_RRCLASS_BY_VALUE = {int(rclass): rclass for rclass in RRClass}
+
+#: Bound on the decoded-message cache (see :meth:`DNSMessage.decode_cached`).
+DECODE_CACHE_MAX_ENTRIES = 2048
+
+#: Decoded-message templates keyed on wire bytes *after* the 2-byte TXID:
+#: replayed payloads that differ only in TXID (the poisoning flood, repeated
+#: client queries) share one parse.
+_DECODE_CACHE: dict[bytes, "DNSMessage"] = {}
 #: Conventional maximum size of a UDP DNS response without EDNS0.
 MAX_UDP_PAYLOAD = 512
 #: Typical EDNS0 advertised size; responses beyond this are truncated or fragmented.
@@ -200,6 +215,14 @@ class DNSMessage:
     # -------------------------------------------------------------- encoding
     def encode(self) -> bytes:
         """Encode to wire bytes with name compression."""
+        if STAGES.enabled:
+            started = perf_counter()
+            wire = self._encode()
+            STAGES.add("dns_encode", perf_counter() - started)
+            return wire
+        return self._encode()
+
+    def _encode(self) -> bytes:
         header = _DNS_HEADER.pack(
             self.txid,
             self.flags.encode(),
@@ -225,54 +248,251 @@ class DNSMessage:
 
     @classmethod
     def decode(cls, data: bytes) -> "DNSMessage":
-        """Decode wire bytes into a message."""
-        if len(data) < DNS_HEADER_LEN:
+        """Decode wire bytes into a message.
+
+        Fast path: the header and question section are decoded eagerly, and
+        the record sections are *structurally validated* eagerly (framing,
+        name structure, known record types, A/AAAA rdata length — so
+        truncated or type-corrupt wire raises here, exactly as the seed
+        implementation did) but *materialised* lazily: the returned message
+        parses names and rdata into :class:`ResourceRecord` objects only
+        when a section is first accessed.  Rejection paths that never look
+        at the records — a resolver discarding a response with the wrong
+        TXID, a nameserver reading only the question — skip that work
+        entirely.
+        """
+        if STAGES.enabled:
+            started = perf_counter()
+            message = cls._decode(data)
+            STAGES.add("dns_decode", perf_counter() - started)
+            return message
+        return cls._decode(data)
+
+    @classmethod
+    def _decode(cls, data: bytes) -> "DNSMessage":
+        size = len(data)
+        if size < DNS_HEADER_LEN:
             raise MessageError("truncated DNS header")
-        txid, flags_value, qdcount, ancount, nscount, arcount = _DNS_HEADER.unpack(
-            data[:DNS_HEADER_LEN]
+        txid, flags_value, qdcount, ancount, nscount, arcount = _DNS_HEADER.unpack_from(
+            data
         )
-        message = cls(txid=txid, flags=DNSHeaderFlags.decode(flags_value))
+        flags = DNSHeaderFlags.decode(flags_value)
         cursor = DNS_HEADER_LEN
+        questions = []
         for _ in range(qdcount):
             name, cursor = decode_name(data, cursor)
-            if cursor + 4 > len(data):
+            if cursor + 4 > size:
                 raise MessageError("truncated question")
-            rtype, rclass = _QUESTION_FIXED.unpack(data[cursor : cursor + 4])
+            rtype, rclass = _QUESTION_FIXED.unpack_from(data, cursor)
             cursor += 4
-            message.questions.append(
-                DNSQuestion(name=name, rtype=RRType(rtype), rclass=RRClass(rclass))
+            questions.append(
+                DNSQuestion(
+                    name=name,
+                    rtype=_RRTYPE_BY_VALUE.get(rtype) or RRType(rtype),
+                    rclass=_RRCLASS_BY_VALUE.get(rclass) or RRClass(rclass),
+                )
             )
-        sections = (
-            (ancount, message.answers),
-            (nscount, message.authority),
-            (arcount, message.additional),
+        if not (ancount or nscount or arcount):
+            return cls(txid=txid, flags=flags, questions=questions)
+        entries = []
+        for _ in range(ancount + nscount + arcount):
+            name_offset = cursor
+            cursor = skip_name(data, cursor)
+            if cursor + 10 > size:
+                raise MessageError("truncated resource record")
+            rtype, rclass, ttl, rdlength = _RR_FIXED.unpack_from(data, cursor)
+            cursor += 10
+            if cursor + rdlength > size:
+                raise MessageError("truncated rdata")
+            rtype_enum = _RRTYPE_BY_VALUE.get(rtype) or RRType(rtype)
+            rclass_enum = _RRCLASS_BY_VALUE.get(rclass) or RRClass(rclass)
+            if rtype_enum is RRType.A or rtype_enum is RRType.AAAA:
+                if rdlength != 4:
+                    raise MessageError("A record rdata must be 4 bytes")
+            elif rtype_enum is RRType.NS or rtype_enum is RRType.CNAME:
+                skip_name(data, cursor)
+            elif rtype_enum is RRType.SOA:
+                skip_name(data, skip_name(data, cursor))
+            entries.append((name_offset, rtype_enum, rclass_enum, ttl, cursor, rdlength))
+            cursor += rdlength
+        return _LazyDNSMessage(
+            txid, flags, questions, data, (ancount, nscount, arcount), entries
         )
-        for count, section in sections:
-            for _ in range(count):
-                record, cursor = cls._decode_record(data, cursor)
-                section.append(record)
-        return message
 
-    @staticmethod
-    def _decode_record(data: bytes, cursor: int) -> tuple[ResourceRecord, int]:
-        name, cursor = decode_name(data, cursor)
-        if cursor + 10 > len(data):
-            raise MessageError("truncated resource record")
-        rtype, rclass, ttl, rdlength = _RR_FIXED.unpack(data[cursor : cursor + 10])
-        cursor += 10
-        rdata = data[cursor : cursor + rdlength]
-        if len(rdata) != rdlength:
-            raise MessageError("truncated rdata")
-        decoded = ResourceRecord.decode_rdata(RRType(rtype), rdata, data, cursor)
-        cursor += rdlength
-        record = ResourceRecord(
-            name=name,
-            rtype=RRType(rtype),
-            ttl=ttl,
-            data=decoded,
-            rclass=RRClass(rclass),
-        )
-        return record, cursor
+    @classmethod
+    def decode_cached(cls, data: bytes) -> "DNSMessage":
+        """Decode wire bytes, reusing the parse of previously seen payloads.
+
+        The cache key is the wire form *minus* the leading TXID, mirroring
+        the nameserver's encode cache: a poisoning attacker replays the same
+        response body under thousands of guessed TXIDs, and a busy resolver
+        sees the same question body from many clients.  A hit clones the
+        cached template — fresh message object, fresh section lists, fresh
+        flags — sharing the (conventionally immutable) question and record
+        objects, so parsing is skipped entirely.
+
+        The cache is bounded: it is cleared wholesale when full, the same
+        policy as the nameserver encode cache.
+        """
+        if STAGES.enabled:
+            started = perf_counter()
+            message = cls._decode_cached(data)
+            STAGES.add("dns_decode", perf_counter() - started)
+            return message
+        return cls._decode_cached(data)
+
+    @classmethod
+    def _decode_cached(cls, data: bytes) -> "DNSMessage":
+        body = data[2:]
+        template = _DECODE_CACHE.get(body)
+        if template is None:
+            template = cls._decode(data)
+            # A compression pointer can target offsets 0/1 — the TXID
+            # itself — making the parse depend on bytes the cache key
+            # strips.  Such a pointer necessarily contains the byte pair
+            # C0 00 or C0 01 *within the body* (names only ever live past
+            # the header), so bodies containing either pair are never
+            # cached; false positives in rdata merely skip the cache.
+            # Cacheability is a property of the body alone, so cache hits
+            # need no scan.
+            if b"\xc0\x00" in body or b"\xc0\x01" in body:
+                return template
+            if len(_DECODE_CACHE) >= DECODE_CACHE_MAX_ENTRIES:
+                _DECODE_CACHE.clear()
+            _DECODE_CACHE[body] = template
+        return template._clone_with_txid((data[0] << 8) | data[1])
+
+    def _clone_with_txid(self, txid: int) -> "DNSMessage":
+        """A shallow copy with ``txid``: fresh lists, shared question/record objects."""
+        clone = DNSMessage.__new__(DNSMessage)
+        clone.txid = txid
+        clone.flags = replace(self.flags)
+        clone.questions = list(self.questions)
+        clone.answers = list(self.answers)
+        clone.authority = list(self.authority)
+        clone.additional = list(self.additional)
+        return clone
+
+
+class _LazyDNSMessage(DNSMessage):
+    """A decoded message whose record sections materialise on first access.
+
+    Header and questions are plain attributes (decoded eagerly); the three
+    record sections are properties backed by a parse of the retained wire
+    bytes that runs at most once per decode *template* — clones made by the
+    decode cache share their template's parse and only copy the lists.
+    ``DNSMessage.decode`` pre-validates record framing, so materialisation
+    cannot raise for truncation; only exotic rdata-content errors (which the
+    seed implementation also surfaced as non-``MessageError`` exceptions)
+    remain deferred.
+    """
+
+    def __init__(
+        self,
+        txid: int,
+        flags: DNSHeaderFlags,
+        questions: list[DNSQuestion],
+        wire: bytes,
+        counts: tuple[int, int, int],
+        entries: list[tuple],
+    ) -> None:
+        self.txid = txid
+        self.flags = flags
+        self.questions = questions
+        self._wire = wire
+        self._counts = counts
+        self._entries = entries
+        self._template: "_LazyDNSMessage" = self
+        self._sections: list[list[ResourceRecord]] | None = None
+
+    # ------------------------------------------------------- materialisation
+    def _materialize(self) -> list[list[ResourceRecord]]:
+        sections = self._sections
+        if sections is not None:
+            return sections
+        template = self._template
+        if template is not self:
+            self._sections = sections = [list(s) for s in template._materialize()]
+            return sections
+        wire = self._wire
+        records = []
+        for name_offset, rtype, rclass, ttl, rdata_offset, rdlength in self._entries:
+            name, _ = decode_name(wire, name_offset)
+            data = ResourceRecord.decode_rdata(
+                rtype, wire[rdata_offset : rdata_offset + rdlength], wire, rdata_offset
+            )
+            records.append(
+                ResourceRecord(name=name, rtype=rtype, ttl=ttl, data=data, rclass=rclass)
+            )
+        ancount, nscount, _arcount = self._counts
+        self._sections = sections = [
+            records[:ancount],
+            records[ancount : ancount + nscount],
+            records[ancount + nscount :],
+        ]
+        return sections
+
+    def _clone_with_txid(self, txid: int) -> "DNSMessage":
+        clone = _LazyDNSMessage.__new__(_LazyDNSMessage)
+        clone.txid = txid
+        clone.flags = replace(self.flags)
+        clone.questions = list(self.questions)
+        clone._wire = self._wire
+        clone._counts = self._counts
+        clone._entries = self._entries
+        clone._template = self._template
+        clone._sections = None
+        return clone
+
+    # ------------------------------------------------------------- sections
+    @property
+    def answers(self) -> list[ResourceRecord]:
+        return self._materialize()[0]
+
+    @answers.setter
+    def answers(self, value: list[ResourceRecord]) -> None:
+        self._materialize()[0] = value
+
+    @property
+    def authority(self) -> list[ResourceRecord]:
+        return self._materialize()[1]
+
+    @authority.setter
+    def authority(self, value: list[ResourceRecord]) -> None:
+        self._materialize()[1] = value
+
+    @property
+    def additional(self) -> list[ResourceRecord]:
+        return self._materialize()[2]
+
+    @additional.setter
+    def additional(self, value: list[ResourceRecord]) -> None:
+        self._materialize()[2] = value
+
+    # ----------------------------------------------------------- comparisons
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ requires identical classes; a lazy
+        # decode result must still compare equal to an equivalent eagerly
+        # built message.
+        if isinstance(other, DNSMessage):
+            return (
+                self.txid,
+                self.flags,
+                self.questions,
+                self.answers,
+                self.authority,
+                self.additional,
+            ) == (
+                other.txid,
+                other.flags,
+                other.questions,
+                other.answers,
+                other.authority,
+                other.additional,
+            )
+        return NotImplemented
+
+    __hash__ = None
 
 
 @dataclass

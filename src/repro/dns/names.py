@@ -109,45 +109,128 @@ def encode_name(name: str, compression: dict[str, int] | None = None, offset: in
     return bytes(encoded)
 
 
+# --------------------------------------------------------------- interning
+#: Bound on the decode-side intern tables; attacker sweeps can synthesise
+#: unboundedly many names, so the tables are cleared when full rather than
+#: growing without limit (same policy as the nameserver's encode cache).
+INTERN_MAX_ENTRIES = 65536
+
+#: Wire label bytes -> decoded label string.
+_LABEL_INTERN: dict[bytes, str] = {}
+#: Decoded name -> canonical string object.  Shared with the encode-side
+#: memos in spirit: returning the *same* ``str`` object for every decode of
+#: a recurring name means the ``lru_cache`` lookups in ``normalize_name`` /
+#: ``_wire_parts`` hash each distinct name once and then compare by pointer.
+_NAME_INTERN: dict[str, str] = {}
+
+
+def intern_name(name: str) -> str:
+    """Return the canonical shared object for ``name`` (bounded table)."""
+    cached = _NAME_INTERN.get(name)
+    if cached is not None:
+        return cached
+    if len(_NAME_INTERN) >= INTERN_MAX_ENTRIES:
+        _NAME_INTERN.clear()
+    _NAME_INTERN[name] = name
+    return name
+
+
+def _intern_label(raw: bytes) -> str:
+    label = _LABEL_INTERN.get(raw)
+    if label is None:
+        label = raw.decode("ascii")
+        if len(_LABEL_INTERN) >= INTERN_MAX_ENTRIES:
+            _LABEL_INTERN.clear()
+        _LABEL_INTERN[raw] = label
+    return label
+
+
 def decode_name(data: bytes, offset: int) -> tuple[str, int]:
     """Decode a (possibly compressed) name starting at ``offset``.
 
     Returns ``(name, next_offset)`` where ``next_offset`` is the offset just
     past the name *as it appears at ``offset``* (pointers do not advance the
     cursor past their two bytes).
+
+    Decoded labels and the joined name are interned in bounded tables, so
+    repeated decodes of the same name (every query/response in a scenario
+    names the same handful of zones) return the same string object without
+    re-running the per-label ASCII decode and join.
     """
     labels: list[str] = []
     cursor = offset
     jumped = False
     next_offset = offset
     guard = 0
+    size = len(data)
     while True:
         guard += 1
         if guard > 256:
             raise NameError_("compression pointer loop")
-        if cursor >= len(data):
+        if cursor >= size:
             raise NameError_("truncated name")
         length = data[cursor]
         if length & 0xC0 == 0xC0:
-            if cursor + 1 >= len(data):
+            if cursor + 1 >= size:
                 raise NameError_("truncated compression pointer")
             pointer = ((length & 0x3F) << 8) | data[cursor + 1]
             if not jumped:
                 next_offset = cursor + 2
                 jumped = True
-            if pointer >= cursor and not jumped:
-                raise NameError_("forward compression pointer")
             cursor = pointer
             continue
         if length == 0:
             if not jumped:
                 next_offset = cursor + 1
             break
-        label = data[cursor + 1 : cursor + 1 + length]
-        if len(label) != length:
+        end = cursor + 1 + length
+        if end > size:
             raise NameError_("truncated label")
-        labels.append(label.decode("ascii"))
-        cursor += 1 + length
+        labels.append(_intern_label(data[cursor + 1 : end]))
+        cursor = end
         if not jumped:
             next_offset = cursor
-    return ".".join(labels), next_offset
+    if not labels:
+        return "", next_offset
+    if len(labels) == 1:
+        return labels[0], next_offset
+    return intern_name(".".join(labels)), next_offset
+
+
+def skip_name(data: bytes, offset: int) -> int:
+    """Validate a wire name's structure and return the offset just past it.
+
+    The structural twin of :func:`decode_name`: same traversal, same error
+    behaviour for truncated names/pointers and pointer loops, but no string
+    is built.  The lazy message decoder uses it to validate record framing
+    eagerly while deferring name materialisation.
+    """
+    cursor = offset
+    jumped = False
+    next_offset = offset
+    guard = 0
+    size = len(data)
+    while True:
+        guard += 1
+        if guard > 256:
+            raise NameError_("compression pointer loop")
+        if cursor >= size:
+            raise NameError_("truncated name")
+        length = data[cursor]
+        if length & 0xC0 == 0xC0:
+            if cursor + 1 >= size:
+                raise NameError_("truncated compression pointer")
+            if not jumped:
+                next_offset = cursor + 2
+                jumped = True
+            cursor = ((length & 0x3F) << 8) | data[cursor + 1]
+            continue
+        if length == 0:
+            if not jumped:
+                next_offset = cursor + 1
+            return next_offset
+        cursor += 1 + length
+        if cursor > size:
+            raise NameError_("truncated label")
+        if not jumped:
+            next_offset = cursor

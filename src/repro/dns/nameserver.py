@@ -103,7 +103,7 @@ class AuthoritativeNameserver:
     # -------------------------------------------------------------- serving
     def _on_query(self, payload: bytes, src_ip: str, src_port: int) -> None:
         try:
-            query = DNSMessage.decode(payload)
+            query = DNSMessage.decode_cached(payload)
         except MessageError:
             self.stats.malformed_queries += 1
             return

@@ -110,7 +110,7 @@ class RecursiveResolver:
     # --------------------------------------------------------------- client
     def _on_client_query(self, payload: bytes, src_ip: str, src_port: int) -> None:
         try:
-            query = DNSMessage.decode(payload)
+            query = DNSMessage.decode_cached(payload)
         except MessageError:
             return
         if query.is_response or not query.questions:
@@ -252,7 +252,7 @@ class RecursiveResolver:
             self.stats.rejected_mismatched_responses += 1
             return
         try:
-            response = DNSMessage.decode(payload)
+            response = DNSMessage.decode_cached(payload)
         except MessageError:
             self.stats.rejected_mismatched_responses += 1
             return

@@ -95,7 +95,7 @@ class StubResolver:
             if src_ip != target or src_port != 53:
                 return
             try:
-                response = DNSMessage.decode(payload)
+                response = DNSMessage.decode_cached(payload)
             except MessageError:
                 return
             if response.txid != txid or not response.is_response:

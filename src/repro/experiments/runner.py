@@ -25,6 +25,7 @@ from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.measurement.report import format_table
+from repro.perf import STAGE_STATS_ENV, STAGES, stage_shares
 
 #: Default file the benchmark harness persists timings to (repo root).
 BENCH_JSON_FILENAME = "BENCH_netsim.json"
@@ -66,6 +67,9 @@ class RunOutcome:
     result: Any = None
     wall_time: float = 0.0
     error: Optional[str] = None
+    #: Per-stage decode/encode wall-time snapshot (see :mod:`repro.perf`);
+    #: populated only when stage-stats collection is enabled.
+    stage_stats: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -87,9 +91,19 @@ def make_grid(scenario: str, **axes: Iterable[Any]) -> list[RunSpec]:
 
 
 def _execute(spec: RunSpec) -> RunOutcome:
-    """Run one spec (in the current process).  Top-level, hence picklable."""
+    """Run one spec (in the current process).  Top-level, hence picklable.
+
+    Stage-stats collection is keyed off the ``REPRO_STAGE_STATS`` environment
+    variable (not a parameter) so the same picklable function works in
+    worker processes — the runner sets the variable before creating the
+    pool and workers inherit it.
+    """
     from repro.experiments.scenarios import get_scenario
 
+    collect_stages = bool(os.environ.get(STAGE_STATS_ENV))
+    if collect_stages:
+        STAGES.reset()
+        STAGES.enable()
     started = time.perf_counter()
     try:
         result = get_scenario(spec.scenario)(**spec.kwargs())
@@ -99,7 +113,16 @@ def _execute(spec: RunSpec) -> RunOutcome:
             wall_time=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
         )
-    return RunOutcome(spec=spec, result=result, wall_time=time.perf_counter() - started)
+    finally:
+        if collect_stages:
+            STAGES.disable()
+    wall_time = time.perf_counter() - started
+    return RunOutcome(
+        spec=spec,
+        result=result,
+        wall_time=wall_time,
+        stage_stats=STAGES.snapshot(wall_time) if collect_stages else None,
+    )
 
 
 class ExperimentRunner:
@@ -113,14 +136,25 @@ class ExperimentRunner:
         uses a ``ProcessPoolExecutor``; if the pool cannot be created or a
         submission fails to pickle, the runner falls back to serial
         execution rather than failing the sweep.
+    collect_stage_stats:
+        When true, each run collects the per-stage decode/encode wall-time
+        counters of :mod:`repro.perf` and attaches a snapshot to its
+        :class:`RunOutcome` (``stage_stats``), at the cost of two
+        ``perf_counter`` calls per codec operation.  Timing never feeds the
+        simulation, so results remain bit-identical.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        collect_stage_stats: bool = False,
+    ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self.collect_stage_stats = collect_stage_stats
         #: "serial" or "processes[N]" — how the last sweep actually ran.
         self.last_execution_mode: str = "serial"
 
@@ -128,17 +162,29 @@ class ExperimentRunner:
     def run(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
         """Execute all specs, returning outcomes in declaration order."""
         specs = list(specs)
-        if self.max_workers == 1 or len(specs) <= 1:
-            self.last_execution_mode = "serial"
-            return [_execute(spec) for spec in specs]
+        previous_env = os.environ.get(STAGE_STATS_ENV)
+        if self.collect_stage_stats:
+            # Workers inherit the environment, so this propagates through
+            # the process pool as well as the serial path.
+            os.environ[STAGE_STATS_ENV] = "1"
         try:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                outcomes = list(pool.map(_execute, specs))
-            self.last_execution_mode = f"processes[{self.max_workers}]"
-            return outcomes
-        except Exception:  # pool creation/pickling failure: degrade gracefully
-            self.last_execution_mode = "serial (process pool unavailable)"
-            return [_execute(spec) for spec in specs]
+            if self.max_workers == 1 or len(specs) <= 1:
+                self.last_execution_mode = "serial"
+                return [_execute(spec) for spec in specs]
+            try:
+                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                    outcomes = list(pool.map(_execute, specs))
+                self.last_execution_mode = f"processes[{self.max_workers}]"
+                return outcomes
+            except Exception:  # pool creation/pickling failure: degrade gracefully
+                self.last_execution_mode = "serial (process pool unavailable)"
+                return [_execute(spec) for spec in specs]
+        finally:
+            if self.collect_stage_stats:
+                if previous_env is None:
+                    os.environ.pop(STAGE_STATS_ENV, None)
+                else:
+                    os.environ[STAGE_STATS_ENV] = previous_env
 
     def run_grid(self, scenario: str, **axes: Iterable[Any]) -> list[RunOutcome]:
         """Declare and execute a cross-product grid in one call."""
@@ -162,8 +208,15 @@ def outcomes_table(
 
 
 def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
-    """Machine-readable wall-clock summary of a sweep (for the bench JSON)."""
-    return {
+    """Machine-readable wall-clock summary of a sweep (for the bench JSON).
+
+    When the sweep ran with stage-stats collection, the summary also carries
+    ``stage_time_shares``: the sweep-wide decode/encode seconds and their
+    share of total wall time, with the remainder attributed to
+    ``dispatch_other`` (event dispatch, checksums, scenario logic).  This is
+    the field future PRs read to find the next bottleneck.
+    """
+    summary: dict[str, Any] = {
         "runs": [
             {
                 "label": outcome.spec.label,
@@ -176,6 +229,22 @@ def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
             sum(outcome.wall_time for outcome in outcomes), 6
         ),
     }
+    staged = [outcome for outcome in outcomes if outcome.stage_stats]
+    if staged:
+        total_wall = sum(outcome.wall_time for outcome in staged)
+        decode = sum(outcome.stage_stats["decode_seconds"] for outcome in staged)
+        encode = sum(outcome.stage_stats["encode_seconds"] for outcome in staged)
+        stages: dict[str, dict[str, Any]] = {}
+        for outcome in staged:
+            for name, stats in outcome.stage_stats["stages"].items():
+                merged = stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+                merged["seconds"] = round(merged["seconds"] + stats["seconds"], 6)
+                merged["calls"] += stats["calls"]
+        summary["stage_time_shares"] = {
+            "stages": stages,
+            **stage_shares(decode, encode, total_wall),
+        }
+    return summary
 
 
 def write_bench_json(

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.netsim.host import Host
 from repro.netsim.simulator import Simulator
+from repro.ntp.errors import NTPPacketError
 from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
 
 
@@ -133,7 +134,7 @@ class RateLimitScan:
                 return
             try:
                 packet = NTPPacket.decode(payload)
-            except ValueError:
+            except NTPPacketError:
                 return
             if packet.mode is not NTPMode.SERVER:
                 return

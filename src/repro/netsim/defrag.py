@@ -91,6 +91,9 @@ class DefragmentationCache:
 
     def purge_expired(self, now: float) -> int:
         """Drop buckets older than the reassembly timeout; returns the count."""
+        if not self._buckets:
+            # Fast path: most receives happen with no reassembly in flight.
+            return 0
         expired = [
             key
             for key, bucket in self._buckets.items()

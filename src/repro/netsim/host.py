@@ -121,6 +121,8 @@ class Host:
         self.name = name
         self.ip = ip
         self.network = network
+        #: Cached to avoid the two-attribute chase on every received packet.
+        self.simulator = network.simulator
         self.profile = profile or OSProfile.linux()
         self.ipid_allocator = ipid_allocator or GlobalCounterIPID()
         self.interface_mtu = interface_mtu
@@ -171,12 +173,8 @@ class Host:
     def send_udp(self, dst_ip: str, datagram: UDPDatagram) -> None:
         """Encode, fragment if needed and hand a datagram to the network."""
         payload = encode_udp(self.ip, dst_ip, datagram)
-        packet = IPv4Packet(
-            src=self.ip,
-            dst=dst_ip,
-            protocol=IPProtocol.UDP,
-            payload=payload,
-            ipid=self.ipid_allocator.next_ipid(dst_ip),
+        packet = IPv4Packet.udp(
+            self.ip, dst_ip, payload, self.ipid_allocator.next_ipid(dst_ip)
         )
         self.stats.udp_sent += 1
         self._transmit(packet)
@@ -228,7 +226,7 @@ class Host:
     # -------------------------------------------------------------- receive
     def receive(self, packet: IPv4Packet) -> None:
         """Entry point called by the network when a packet reaches this host."""
-        now = self.network.simulator.now
+        now = self.simulator.now
         if self.packet_tap is not None:
             self.packet_tap(packet)
         if packet.protocol is IPProtocol.ICMP:

@@ -35,6 +35,11 @@ class Link:
     mtu: int = 1500
 
 
+#: Bound on the per-(src, dst) link-resolution cache; src is attacker
+#: controlled (spoofed), so the cache is cleared wholesale when full.
+LINK_CACHE_MAX_ENTRIES = 65536
+
+
 class Network:
     """A set of hosts plus the rules for moving packets between them."""
 
@@ -50,6 +55,8 @@ class Network:
         self._links: dict[frozenset[str], Link] = {}
         #: Per-(src, dst) resolution cache for link_between; invalidated by
         #: set_link.  Avoids building a frozenset per delivered packet.
+        #: Bounded (clear-on-full, like the intern tables): src is whatever
+        #: the sender claims, so spoofing sweeps must not grow it unbounded.
         self._link_cache: dict[tuple[str, str], Link] = {}
         self._captures: list[PacketCapture] = []
         self._rng = simulator.spawn_rng()
@@ -128,6 +135,8 @@ class Network:
         link = self._link_cache.get(cache_key)
         if link is None:
             link = self.link_between(packet.src, packet.dst)
+            if len(self._link_cache) >= LINK_CACHE_MAX_ENTRIES:
+                self._link_cache.clear()
             self._link_cache[cache_key] = link
         if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
             self.packets_dropped += 1

@@ -64,6 +64,28 @@ class IPv4Packet:
         if len(self.payload) + IPV4_HEADER_LEN > IPV4_MAX_PACKET:
             raise PacketError("payload too large for an IPv4 packet")
 
+    @classmethod
+    def udp(cls, src: str, dst: str, payload: bytes, ipid: int) -> "IPv4Packet":
+        """Fast constructor for the per-datagram hot path.
+
+        Direct slot assignment skips the 10-field ``__init__`` and the
+        validation in ``__post_init__`` — callers pass an already-masked
+        16-bit IPID and a payload below the IPv4 maximum (UDP payloads are
+        bounded well under it by the senders).
+        """
+        packet = cls.__new__(cls)
+        packet.src = src
+        packet.dst = dst
+        packet.protocol = IPProtocol.UDP
+        packet.payload = payload
+        packet.ipid = ipid
+        packet.ttl = 64
+        packet.dont_fragment = False
+        packet.more_fragments = False
+        packet.fragment_offset = 0
+        packet.metadata = {}
+        return packet
+
     @property
     def total_length(self) -> int:
         """Total packet length including the 20-byte header."""

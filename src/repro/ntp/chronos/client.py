@@ -21,6 +21,7 @@ from repro.netsim.simulator import Simulator
 from repro.ntp.chronos.pool_generation import ChronosPoolGenerator, PoolGenerationConfig
 from repro.ntp.chronos.selection import chronos_select, panic_select
 from repro.ntp.clock import SystemClock
+from repro.ntp.errors import NTPPacketError
 from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
 
 
@@ -136,7 +137,7 @@ class ChronosClient:
     def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
         try:
             packet = NTPPacket.decode(payload)
-        except ValueError:
+        except NTPPacketError:
             return
         if packet.mode is not NTPMode.SERVER or packet.is_kiss_of_death:
             return

@@ -30,7 +30,9 @@ from repro.netsim.host import Host
 from repro.netsim.simulator import Simulator
 from repro.ntp.association import Association, AssociationState
 from repro.ntp.clock import SystemClock
+from repro.ntp.errors import NTPPacketError
 from repro.ntp.packet import NTPMode, NTPPacket, NTP_PORT
+from repro.ntp.timestamps import unix_from_wire
 
 
 @dataclass
@@ -258,7 +260,7 @@ class BaseNTPClient:
     def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
         try:
             packet = NTPPacket.decode(payload)
-        except ValueError:
+        except NTPPacketError:
             return
         if packet.mode is NTPMode.CLIENT:
             self._serve_time(packet, src_ip, src_port)
@@ -282,7 +284,8 @@ class BaseNTPClient:
             self._after_failure(association)
             return
         now = self.simulator.now
-        offset = packet.transmit_timestamp.to_unix() - self.clock.time(now)
+        transmit = packet.transmit_timestamp
+        offset = unix_from_wire(transmit.seconds, transmit.fraction) - self.clock.time(now)
         association.record_success(offset)
         self.stats.responses_received += 1
         self._discipline()

@@ -1,0 +1,18 @@
+"""Exception hierarchy for the NTP substrate.
+
+:class:`NTPPacketError` deliberately subclasses :class:`ValueError`: the seed
+implementation raised bare ``ValueError`` from :meth:`NTPPacket.decode`, and
+every receive path catches it to drop malformed datagrams.  Subclassing keeps
+those semantics while giving callers a typed error to catch explicitly (and
+guarantees a truncated buffer can never surface as a raw ``struct.error``).
+"""
+
+from __future__ import annotations
+
+
+class NTPError(Exception):
+    """Base class for all NTP errors."""
+
+
+class NTPPacketError(NTPError, ValueError):
+    """An NTP packet could not be decoded (truncated or malformed)."""

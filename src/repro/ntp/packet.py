@@ -6,6 +6,15 @@ stop answering a client.  The ``reference_id`` of a mode 4 packet from a
 stratum-2+ server carries the IPv4 address of its current upstream server,
 which is the information leak the run-time attack's scenario P2 uses to
 discover a victim's associations one at a time (paper section IV-B2b).
+
+Hot-path note: every poll, response and spoofed query in an experiment goes
+through :meth:`NTPPacket.encode`/:meth:`NTPPacket.decode`, so both use one
+precompiled :class:`struct.Struct` covering the whole 48-byte packet — the
+four timestamps are (un)packed as eight 32-bit words in the same operation,
+with no intermediate 8-byte slices — and the packet itself is a slotted
+dataclass.  Decoding truncated or malformed bytes raises the typed
+:class:`~repro.ntp.errors.NTPPacketError` (a ``ValueError`` subclass), never
+a raw ``struct.error``.
 """
 
 from __future__ import annotations
@@ -13,14 +22,31 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import lru_cache
 
 from repro.netsim.addresses import int_to_ip, ip_to_int
-from repro.ntp.timestamps import NTPTimestamp
+from repro.ntp.errors import NTPPacketError
+from repro.ntp.timestamps import (
+    NTP_UNIX_EPOCH_DELTA,
+    NTPTimestamp,
+    timestamp_from_wire,
+)
+from repro.perf import STAGES, perf_counter
 
 #: Well-known NTP UDP port.
 NTP_PORT = 123
 #: Size of a plain (unauthenticated) NTP packet.
 NTP_PACKET_LEN = 48
+
+#: The whole 48-byte packet as one precompiled codec: header fields, the
+#: 4-byte reference id, then the four timestamps as eight 32-bit words.
+_NTP_WIRE = struct.Struct("!BBbbII4s8I")
+#: The two 32-bit words of a transmit timestamp (see ``client_query_wire``).
+_TRANSMIT_WORDS = struct.Struct("!II")
+#: First 40 bytes of every default mode 3 query: leap 0 / version 4 / mode 3,
+#: stratum 0, poll 6, precision -20, zero root delay/dispersion/refid and
+#: zero reference, origin and receive timestamps.
+_CLIENT_QUERY_PREFIX = struct.pack("!BBbbII4s6I", 0x23, 0, 6, -20, 0, 0, b"\x00" * 4, 0, 0, 0, 0, 0, 0)
 
 
 class NTPMode(IntEnum):
@@ -35,6 +61,11 @@ class NTPMode(IntEnum):
     PRIVATE = 7
 
 
+#: Mode lookup table: a dict hit is markedly cheaper than the Enum call in
+#: the per-packet decode path (misses fall back to the typed error below).
+_MODE_BY_VALUE = {int(mode): mode for mode in NTPMode}
+
+
 class KissCode:
     """Kiss-o'-Death reference identifiers (RFC 5905 section 7.4)."""
 
@@ -43,7 +74,31 @@ class KissCode:
     RSTR = "RSTR"
 
 
-@dataclass
+@lru_cache(maxsize=4096)
+def _decode_refid(stratum: int, refid_bytes: bytes) -> str:
+    """Decode the 4-byte reference id (cached; the value space is tiny).
+
+    Stratum 0/1 carry ASCII identifiers (kiss codes, reference clock names);
+    higher strata carry the IPv4 address of the synchronisation source.
+    """
+    if stratum <= 1:
+        return refid_bytes.rstrip(b"\x00").decode("ascii", errors="replace")
+    if refid_bytes == b"\x00\x00\x00\x00":
+        return ""
+    return int_to_ip(int.from_bytes(refid_bytes, "big"))
+
+
+@lru_cache(maxsize=4096)
+def _encode_refid(stratum: int, reference_id: str) -> bytes:
+    """Encode a reference id to its 4 wire bytes (cached, bounded)."""
+    if not reference_id:
+        return b"\x00" * 4
+    if stratum <= 1:
+        return reference_id.encode("ascii")[:4].ljust(4, b"\x00")
+    return ip_to_int(reference_id).to_bytes(4, "big")
+
+
+@dataclass(slots=True)
 class NTPPacket:
     """A 48-byte NTP packet."""
 
@@ -89,35 +144,58 @@ class NTPPacket:
         # Stratum 0 (kiss codes) and stratum 1 (reference clock names) carry
         # ASCII identifiers; higher strata carry the IPv4 address of the
         # server's synchronisation source.
-        if not self.reference_id:
-            return b"\x00" * 4
-        if self.stratum <= 1:
-            return self.reference_id.encode("ascii")[:4].ljust(4, b"\x00")
-        return ip_to_int(self.reference_id).to_bytes(4, "big")
+        return _encode_refid(self.stratum, self.reference_id)
 
     def encode(self) -> bytes:
         """Encode the packet to its 48 wire bytes."""
-        li_vn_mode = ((self.leap & 0x3) << 6) | ((self.version & 0x7) << 3) | int(self.mode)
-        return struct.pack(
-            "!BBbb II 4s 8s 8s 8s 8s",
-            li_vn_mode,
+        if STAGES.enabled:
+            started = perf_counter()
+            wire = self._encode()
+            STAGES.add("ntp_encode", perf_counter() - started)
+            return wire
+        return self._encode()
+
+    def _encode(self) -> bytes:
+        reference = self.reference_timestamp
+        origin = self.origin_timestamp
+        receive = self.receive_timestamp
+        transmit = self.transmit_timestamp
+        return _NTP_WIRE.pack(
+            ((self.leap & 0x3) << 6) | ((self.version & 0x7) << 3) | int(self.mode),
             self.stratum,
             self.poll,
             self.precision,
             int(self.root_delay * (1 << 16)) & 0xFFFFFFFF,
             int(self.root_dispersion * (1 << 16)) & 0xFFFFFFFF,
-            self._encode_refid(),
-            self.reference_timestamp.to_bytes(),
-            self.origin_timestamp.to_bytes(),
-            self.receive_timestamp.to_bytes(),
-            self.transmit_timestamp.to_bytes(),
+            _encode_refid(self.stratum, self.reference_id),
+            reference.seconds,
+            reference.fraction,
+            origin.seconds,
+            origin.fraction,
+            receive.seconds,
+            receive.fraction,
+            transmit.seconds,
+            transmit.fraction,
         )
 
     @classmethod
     def decode(cls, data: bytes) -> "NTPPacket":
-        """Decode 48 wire bytes into a packet."""
+        """Decode 48 wire bytes into a packet.
+
+        Raises :class:`NTPPacketError` on truncated input or an invalid mode
+        (never ``struct.error``).
+        """
+        if STAGES.enabled:
+            started = perf_counter()
+            packet = cls._decode(data)
+            STAGES.add("ntp_decode", perf_counter() - started)
+            return packet
+        return cls._decode(data)
+
+    @classmethod
+    def _decode(cls, data: bytes) -> "NTPPacket":
         if len(data) < NTP_PACKET_LEN:
-            raise ValueError(f"NTP packet too short: {len(data)} bytes")
+            raise NTPPacketError(f"NTP packet too short: {len(data)} bytes")
         (
             li_vn_mode,
             stratum,
@@ -126,33 +204,36 @@ class NTPPacket:
             root_delay_raw,
             root_dispersion_raw,
             refid_bytes,
-            ref_ts,
-            orig_ts,
-            recv_ts,
-            xmit_ts,
-        ) = struct.unpack("!BBbb II 4s 8s 8s 8s 8s", data[:NTP_PACKET_LEN])
-        mode = NTPMode(li_vn_mode & 0x7)
-        if stratum <= 1:
-            reference_id = refid_bytes.rstrip(b"\x00").decode("ascii", errors="replace")
-        elif refid_bytes == b"\x00" * 4:
-            reference_id = ""
-        else:
-            reference_id = int_to_ip(int.from_bytes(refid_bytes, "big"))
-        return cls(
-            mode=mode,
-            leap=(li_vn_mode >> 6) & 0x3,
-            version=(li_vn_mode >> 3) & 0x7,
-            stratum=stratum,
-            poll=poll,
-            precision=precision,
-            root_delay=root_delay_raw / (1 << 16),
-            root_dispersion=root_dispersion_raw / (1 << 16),
-            reference_id=reference_id,
-            reference_timestamp=NTPTimestamp.from_bytes(ref_ts),
-            origin_timestamp=NTPTimestamp.from_bytes(orig_ts),
-            receive_timestamp=NTPTimestamp.from_bytes(recv_ts),
-            transmit_timestamp=NTPTimestamp.from_bytes(xmit_ts),
-        )
+            ref_seconds,
+            ref_fraction,
+            orig_seconds,
+            orig_fraction,
+            recv_seconds,
+            recv_fraction,
+            xmit_seconds,
+            xmit_fraction,
+        ) = _NTP_WIRE.unpack_from(data)
+        mode = _MODE_BY_VALUE.get(li_vn_mode & 0x7)
+        if mode is None:
+            raise NTPPacketError(f"{li_vn_mode & 0x7} is not a valid NTPMode")
+        # Direct slot assignment: this constructor runs once per received
+        # packet, and skipping the 13-keyword __init__ call is a measurable
+        # share of decode cost.
+        packet = cls.__new__(cls)
+        packet.mode = mode
+        packet.leap = (li_vn_mode >> 6) & 0x3
+        packet.version = (li_vn_mode >> 3) & 0x7
+        packet.stratum = stratum
+        packet.poll = poll
+        packet.precision = precision
+        packet.root_delay = root_delay_raw / (1 << 16)
+        packet.root_dispersion = root_dispersion_raw / (1 << 16)
+        packet.reference_id = _decode_refid(stratum, refid_bytes)
+        packet.reference_timestamp = timestamp_from_wire(ref_seconds, ref_fraction)
+        packet.origin_timestamp = timestamp_from_wire(orig_seconds, orig_fraction)
+        packet.receive_timestamp = timestamp_from_wire(recv_seconds, recv_fraction)
+        packet.transmit_timestamp = timestamp_from_wire(xmit_seconds, xmit_fraction)
+        return packet
 
     # ------------------------------------------------------------ factories
     @classmethod
@@ -165,6 +246,22 @@ class NTPPacket:
         )
 
     @classmethod
+    def client_query_wire(cls, transmit_time: float) -> bytes:
+        """The wire bytes of :meth:`client_query` without building the packet.
+
+        Spoofing loops encode tens of thousands of mode 3 queries that are
+        identical except for the transmit timestamp, so the first 40 bytes
+        are a precomputed constant (pinned against ``client_query().encode()``
+        by the fast-path property tests).
+        """
+        ntp_time = transmit_time + NTP_UNIX_EPOCH_DELTA
+        seconds = int(ntp_time)
+        fraction = int(round((ntp_time - seconds) * (1 << 32))) % (1 << 32)
+        return _CLIENT_QUERY_PREFIX + _TRANSMIT_WORDS.pack(
+            seconds & 0xFFFFFFFF, fraction
+        )
+
+    @classmethod
     def server_response(
         cls,
         query: "NTPPacket",
@@ -174,16 +271,23 @@ class NTPPacket:
     ) -> "NTPPacket":
         """Build the mode 4 response to ``query`` at the server's clock time."""
         now = NTPTimestamp.from_unix(server_time)
-        return cls(
-            mode=NTPMode.SERVER,
-            stratum=stratum,
-            poll=query.poll,
-            reference_id=reference_id,
-            reference_timestamp=now,
-            origin_timestamp=query.transmit_timestamp,
-            receive_timestamp=now,
-            transmit_timestamp=now,
-        )
+        # Direct slot assignment: servers build one of these per answered
+        # query (see the _decode note above).
+        packet = cls.__new__(cls)
+        packet.mode = NTPMode.SERVER
+        packet.leap = 0
+        packet.version = 4
+        packet.stratum = stratum
+        packet.poll = query.poll
+        packet.precision = -20
+        packet.root_delay = 0.0
+        packet.root_dispersion = 0.0
+        packet.reference_id = reference_id
+        packet.reference_timestamp = now
+        packet.origin_timestamp = query.transmit_timestamp
+        packet.receive_timestamp = now
+        packet.transmit_timestamp = now
+        return packet
 
     @classmethod
     def kiss_of_death(cls, query: "NTPPacket", code: str = KissCode.RATE) -> "NTPPacket":

@@ -30,9 +30,9 @@ class RateLimitDecision(Enum):
     DROP = "drop"
 
 
-@dataclass
+@dataclass(slots=True)
 class _SourceState:
-    """Accounting for one source address."""
+    """Accounting for one source address (slotted: one per spoofed flood)."""
 
     last_seen: float = 0.0
     score: float = 0.0

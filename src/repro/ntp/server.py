@@ -25,6 +25,7 @@ from typing import Optional
 from repro.netsim.host import Host
 from repro.netsim.simulator import Simulator
 from repro.ntp.clock import SystemClock
+from repro.ntp.errors import NTPPacketError
 from repro.ntp.packet import KissCode, NTPMode, NTPPacket, NTP_PORT
 from repro.ntp.rate_limit import RateLimitDecision, RateLimiter
 
@@ -107,7 +108,7 @@ class NTPServer:
     def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
         try:
             query = NTPPacket.decode(payload)
-        except ValueError:
+        except NTPPacketError:
             return
         if query.mode is NTPMode.PRIVATE or query.mode is NTPMode.CONTROL:
             self._handle_config_query(src_ip, src_port)

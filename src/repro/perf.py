@@ -1,0 +1,122 @@
+"""Per-stage wall-time counters for the wire-layer hot paths.
+
+The experiment engine and benchmarks need to know *where* an end-to-end run
+spends its time — decode, encode, or everything else (event dispatch, attack
+logic, checksums) — so each PR can aim at the actual bottleneck instead of
+guessing.  Timing every packet unconditionally would slow the hot path it is
+supposed to measure, so the counters are **off by default**: codec entry
+points check a single attribute (``STAGES.enabled``) and skip both
+``perf_counter`` calls when disabled.
+
+Enable collection either directly (``STAGES.enable()``) or through
+:class:`repro.experiments.runner.ExperimentRunner` with
+``collect_stage_stats=True``, which also propagates the setting to worker
+processes via the ``REPRO_STAGE_STATS`` environment variable and attaches a
+:meth:`StageCounters.snapshot` to each run outcome.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Optional
+
+#: Environment variable the experiment engine uses to switch collection on in
+#: worker processes (anything non-empty enables it).
+STAGE_STATS_ENV = "REPRO_STAGE_STATS"
+
+#: Stage names grouped into the two aggregate buckets reported as shares.
+DECODE_STAGES = ("dns_decode", "ntp_decode")
+ENCODE_STAGES = ("dns_encode", "ntp_encode")
+
+
+def stage_shares(
+    decode_seconds: float, encode_seconds: float, wall_time: float
+) -> dict[str, Any]:
+    """The wall-time attribution block shared by snapshots and summaries.
+
+    ``dispatch_other`` is the remainder: event dispatch, checksums,
+    scheduling and scenario logic.
+    """
+    return {
+        "decode_seconds": round(decode_seconds, 6),
+        "encode_seconds": round(encode_seconds, 6),
+        "wall_time_seconds": round(wall_time, 6),
+        "shares": {
+            "decode": round(decode_seconds / wall_time, 4) if wall_time else 0.0,
+            "encode": round(encode_seconds / wall_time, 4) if wall_time else 0.0,
+            "dispatch_other": round(
+                max(0.0, 1.0 - (decode_seconds + encode_seconds) / wall_time), 4
+            )
+            if wall_time
+            else 0.0,
+        },
+    }
+
+
+class StageCounters:
+    """Accumulates wall time and call counts per named stage.
+
+    ``add`` is called from codec hot paths only while ``enabled`` is true, so
+    the disabled cost is one attribute read per codec call.
+    """
+
+    __slots__ = ("enabled", "times", "calls")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.times: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+
+    def enable(self) -> None:
+        """Switch collection on (counters keep accumulating until reset)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Switch collection off; accumulated values remain readable."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Zero all counters (collection state is unchanged)."""
+        self.times.clear()
+        self.calls.clear()
+
+    def add(self, stage: str, elapsed: float) -> None:
+        """Record one timed call of ``stage``."""
+        self.times[stage] = self.times.get(stage, 0.0) + elapsed
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+
+    # ------------------------------------------------------------- reporting
+    def snapshot(self, wall_time: Optional[float] = None) -> dict[str, Any]:
+        """A JSON-ready summary of the counters.
+
+        With ``wall_time`` (seconds of the run being attributed), the
+        snapshot also reports each aggregate bucket's share of the wall
+        clock; the remainder is the ``dispatch_other`` share — event-loop
+        dispatch, checksums, scheduling, and scenario logic.
+        """
+        decode = sum(self.times.get(stage, 0.0) for stage in DECODE_STAGES)
+        encode = sum(self.times.get(stage, 0.0) for stage in ENCODE_STAGES)
+        document: dict[str, Any] = {
+            "stages": {
+                stage: {
+                    "seconds": round(self.times[stage], 6),
+                    "calls": self.calls.get(stage, 0),
+                }
+                for stage in sorted(self.times)
+            },
+            "decode_seconds": round(decode, 6),
+            "encode_seconds": round(encode, 6),
+        }
+        if wall_time is not None and wall_time > 0:
+            attribution = stage_shares(decode, encode, wall_time)
+            document["wall_time_seconds"] = attribution["wall_time_seconds"]
+            document["shares"] = attribution["shares"]
+        return document
+
+
+#: The process-wide counter instance the codecs consult.
+STAGES = StageCounters()
+
+#: Re-exported so codec modules need a single import for the guarded pattern:
+#: ``if STAGES.enabled: t0 = perf_counter(); ...; STAGES.add(name, perf_counter() - t0)``.
+__all__ = ["STAGES", "StageCounters", "STAGE_STATS_ENV", "perf_counter"]
