@@ -1,0 +1,24 @@
+# Single-entry developer / CI targets.
+#
+#   make test          tier-1 test suite (the hard gate every PR must keep green)
+#   make regression    fresh benchmark run diffed against the committed
+#                      BENCH_netsim.json (fails on >20% throughput regression)
+#   make bench         both of the above, in order — the full pre-merge gate
+#   make bench-refresh re-run benchmarks and rewrite BENCH_netsim.json
+#                      (refuses to overwrite the baseline on regression)
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test regression bench bench-refresh
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+regression:
+	$(PYTHON) benchmarks/check_regression.py
+
+bench: test regression
+
+bench-refresh:
+	$(PYTHON) benchmarks/run_benchmarks.py

@@ -273,6 +273,52 @@ def packets_per_sec(count: int = 20_000) -> float:
     return count / elapsed
 
 
+# ------------------------------------------------------------------ pipeline
+def pipeline_events_per_sec(count: int = 30_000, trusted: bool = False) -> float:
+    """Dispatch-path throughput on the compiled delivery pipeline.
+
+    Measures exactly the transmit → compiled pipeline → handler chain the
+    Table II hot loop exercises: per packet one fast-constructed
+    ``IPv4Packet``, one ``Network.transmit`` (pipeline-cache hit + heap
+    push) and one flat delivery (defrag bookkeeping, checksum verify, port
+    demux, handler call).  Payload encode happens once outside the timed
+    region — this is the *dispatch* gate, the codec gates are separate.
+
+    With ``trusted=True`` the link uses the opt-in trusted profile
+    (checksum verify and unfragmented defrag bookkeeping skipped),
+    quantifying what a trust-profiled deployment buys.
+    """
+    from repro.netsim.datapath import LinkProfile
+    from repro.netsim.network import Link, Network
+    from repro.netsim.packet import IPv4Packet
+    from repro.netsim.udp import UDPDatagram, encode_udp
+
+    sim = Simulator(seed=0)
+    network = Network(sim)
+    src, dst = "192.0.2.1", "192.0.2.2"
+    network.add_host("sender", src)
+    receiver = network.add_host("receiver", dst)
+    if trusted:
+        network.set_link(src, dst, Link(latency=0.01, profile=LinkProfile.trusted()))
+    received = [0]
+
+    def on_datagram(payload: bytes, ip: str, port: int) -> None:
+        received[0] += 1
+
+    receiver.bind(4242, on_datagram)
+    payload = encode_udp(src, dst, UDPDatagram(5353, 4242, b"x" * 48))
+    transmit = network.transmit
+    udp = IPv4Packet.udp
+    with _no_gc():
+        started = time.perf_counter()
+        for index in range(count):
+            transmit(udp(src, dst, payload, index & 0xFFFF))
+        sim.run()
+        elapsed = time.perf_counter() - started
+    assert received[0] == count
+    return count / elapsed
+
+
 # ----------------------------------------------------------------- DNS codec
 def _pool_response_bytes():
     from repro.dns.message import DNSMessage
@@ -352,14 +398,29 @@ def ntp_codec_ops_per_sec(count: int = 20_000) -> tuple[float, float]:
 
 
 def run_micro_benchmarks(rounds: int = 5) -> dict:
-    """Run the whole microbenchmark suite; used by run_benchmarks.py."""
-    ntp_encode, ntp_decode = ntp_codec_ops_per_sec()
+    """Run the whole microbenchmark suite; used by run_benchmarks.py.
+
+    Every metric is a best-of-``rounds`` maximum: these numbers feed the
+    20% regression gate, and a single CPU-contention burst during a
+    one-shot measurement reads as a regression that never happened.
+    """
+    ntp_pairs = [ntp_codec_ops_per_sec() for _ in range(rounds)]
+    ntp_encode = max(pair[0] for pair in ntp_pairs)
+    ntp_decode = max(pair[1] for pair in ntp_pairs)
     return {
         "event_loop": event_loop_comparison(rounds=rounds),
-        "packets_per_sec": round(packets_per_sec()),
-        "dns_encode_ops_per_sec": round(dns_encode_ops_per_sec()),
-        "dns_decode_ops_per_sec": round(dns_decode_ops_per_sec()),
-        "dns_decode_cold_ops_per_sec": round(dns_decode_cold_ops_per_sec()),
+        "packets_per_sec": round(_best_of(packets_per_sec, rounds)),
+        "pipeline_events_per_sec": round(
+            _best_of(pipeline_events_per_sec, rounds)
+        ),
+        "pipeline_trusted_events_per_sec": round(
+            _best_of(lambda: pipeline_events_per_sec(trusted=True), rounds)
+        ),
+        "dns_encode_ops_per_sec": round(_best_of(dns_encode_ops_per_sec, rounds)),
+        "dns_decode_ops_per_sec": round(_best_of(dns_decode_ops_per_sec, rounds)),
+        "dns_decode_cold_ops_per_sec": round(
+            _best_of(dns_decode_cold_ops_per_sec, rounds)
+        ),
         "ntp_encode_ops_per_sec": round(ntp_encode),
         "ntp_decode_ops_per_sec": round(ntp_decode),
     }
@@ -387,6 +448,30 @@ def test_packet_and_dns_throughput_sane():
     assert dns_encode_ops_per_sec(count=5_000) > 5_000
     assert dns_decode_ops_per_sec(count=5_000) > 5_000
     assert dns_decode_cold_ops_per_sec(count=5_000) > 5_000
+
+
+def test_pipeline_dispatch_floor():
+    """Absolute floor for the compiled dispatch path (typical: ~275k/s).
+
+    Deliberately far below the typical rate so the gate is noise-proof on
+    slow CI; the 20%-regression gate in ``check_regression.py`` (against
+    the committed ``pipeline_events_per_sec``) is the tight check.
+    """
+    assert pipeline_events_per_sec(count=10_000) > 100_000
+
+
+def test_trusted_profile_not_slower_than_default():
+    """The trusted link profile strictly removes per-packet work.
+
+    Typical separation is ~1.3×; the asserted margin is small because both
+    rates are measured back-to-back and only a gross inversion would
+    indicate the trusted path regressed.
+    """
+    default_rate = _best_of(lambda: pipeline_events_per_sec(count=10_000), 3)
+    trusted_rate = _best_of(
+        lambda: pipeline_events_per_sec(count=10_000, trusted=True), 3
+    )
+    assert trusted_rate > default_rate * 1.05, (trusted_rate, default_rate)
 
 
 def test_dns_decode_fast_path_at_least_3x_pr1_baseline():

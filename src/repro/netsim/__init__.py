@@ -34,6 +34,7 @@ from repro.netsim.ipid import (
 )
 from repro.netsim.udp import UDPDatagram, encode_udp, decode_udp, udp_checksum
 from repro.netsim.icmp import ICMPMessage, ICMPType, frag_needed
+from repro.netsim.datapath import DeliveryPipeline, HostDatapath, LinkProfile
 from repro.netsim.host import Host, OSProfile
 from repro.netsim.sockets import UDPSocket
 from repro.netsim.network import Network, Link
@@ -64,6 +65,9 @@ __all__ = [
     "ICMPMessage",
     "ICMPType",
     "frag_needed",
+    "DeliveryPipeline",
+    "HostDatapath",
+    "LinkProfile",
     "Host",
     "OSProfile",
     "UDPSocket",

@@ -1,0 +1,485 @@
+"""Compiled per-link delivery pipelines: the packet dispatch fast path.
+
+PR 2's stage counters attributed ~85% of Table II wall time to
+``dispatch_other`` — the Network.transmit → Link → Host.receive → defrag →
+UDP-checksum → socket-deliver → handler chain, six cross-module hops per
+packet.  This module collapses that chain into objects compiled once per
+link and cached:
+
+* :class:`HostDatapath` — one per host, created by ``Host.__init__``.  Its
+  :meth:`~HostDatapath.deliver` method is the whole receive side (capture
+  tap, fragmentation check, defrag, checksum verify, port demux, handler
+  call) as a single flat function with the host's defrag cache, socket
+  table, stats block and OS-profile flags pre-bound to slots.  The
+  semantics are exactly those of the pre-refactor ``Host.receive`` /
+  ``Host._deliver_udp`` pair — pinned by the golden determinism test —
+  but without the per-packet method-call tower, property lookups, or the
+  intermediate ``UDPDatagram`` allocation.
+* :class:`DeliveryPipeline` — one per (src, dst) pair, compiled and cached
+  by :class:`~repro.netsim.network.Network`.  It carries the resolved link
+  latency, loss probability and the destination's bound deliver callable,
+  so the transmit hot path is a single dict hit plus a heap push.
+* :class:`LinkProfile` — opt-in *trust levels* per link.  The default
+  profile performs full verification.  A ``trusted`` link (e.g. a loopback
+  or lab-internal path the experimenter vouches for) skips UDP checksum
+  verification and defragmentation bookkeeping for unfragmented packets.
+  Trust is **off by default** — the golden fixed-seed results are produced
+  entirely on default-profile links — and never changes which packets are
+  delivered for well-formed traffic, only how much verification work the
+  simulator performs per packet.
+
+Stage attribution: while ``repro.perf.STAGES`` collection is enabled,
+delivery routes through an instrumented twin that accumulates per-stage
+wall time (``defrag``, ``checksum``, ``demux``, ``handler``) into slots on
+the datapath, which registers itself with the process-wide counters so
+snapshots can merge them.  Timing never feeds the simulation, so
+instrumented runs remain bit-identical.
+
+Private-attribute access: the flat paths read ``Simulator._now``,
+``DefragmentationCache._buckets`` and ``Host._sockets`` directly.  These
+are deliberate friend accesses of the datapath (documented at each site);
+all three objects are created once per owner and mutated in place, so
+binding them at compile time is safe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.netsim.icmp import ICMPMessage
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.sockets import ReceivedDatagram
+from repro.netsim.udp import (
+    UDP_HEADER_LEN,
+    _UDP_HEADER,
+    _address_word_sum,
+    udp_checksum_arith,
+)
+from repro.perf import STAGES, perf_counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from repro.netsim.host import Host
+
+#: Bound locals shared by every compiled deliver body.
+_UDP = IPProtocol.UDP
+_ICMP = IPProtocol.ICMP
+_UNPACK_UDP_HEADER = _UDP_HEADER.unpack_from
+
+
+class LinkProfile:
+    """Per-link trust level controlling which verification stages run.
+
+    ``verify_checksum``
+        Verify the UDP checksum of delivered datagrams (on top of the
+        receiving host's own ``OSProfile.verify_udp_checksum`` flag — a
+        host that skips verification keeps skipping it on any link).
+    ``defrag_bookkeeping``
+        Consult the defragmentation cache for *unfragmented* packets
+        (purging expired reassembly buckets on every arrival, as real
+        kernels do).  Fragmented packets always go through full
+        reassembly regardless of trust — trust cannot change what gets
+        delivered, only how much per-packet verification work runs.
+    """
+
+    __slots__ = ("name", "verify_checksum", "defrag_bookkeeping")
+
+    def __init__(
+        self,
+        name: str = "default",
+        verify_checksum: bool = True,
+        defrag_bookkeeping: bool = True,
+    ) -> None:
+        self.name = name
+        self.verify_checksum = verify_checksum
+        self.defrag_bookkeeping = defrag_bookkeeping
+
+    @classmethod
+    def default(cls) -> "LinkProfile":
+        """Full verification (the only profile the golden runs use)."""
+        return DEFAULT_LINK_PROFILE
+
+    @classmethod
+    def trusted(cls) -> "LinkProfile":
+        """Skip checksum verification and unfragmented-packet defrag work."""
+        return TRUSTED_LINK_PROFILE
+
+    @property
+    def is_default(self) -> bool:
+        """True when every verification stage is enabled."""
+        return self.verify_checksum and self.defrag_bookkeeping
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinkProfile {self.name!r}>"
+
+
+#: Shared singletons: links reference profiles, they never mutate them.
+DEFAULT_LINK_PROFILE = LinkProfile("default")
+TRUSTED_LINK_PROFILE = LinkProfile(
+    "trusted", verify_checksum=False, defrag_bookkeeping=False
+)
+
+
+class DeliveryPipeline:
+    """The compiled delivery plan for one (src, dst) address pair.
+
+    ``deliver`` is the destination datapath's bound deliver method — or
+    ``None`` for the shared *unrouted* pipeline, which stands in for
+    destinations with no registered host so repeat sends to the same
+    unknown address stay one dict hit.
+    """
+
+    __slots__ = ("latency", "loss_probability", "deliver")
+
+    def __init__(self, latency: float, loss_probability: float, deliver) -> None:
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self.deliver = deliver
+
+
+#: Cached pipeline for destinations that have no host (dropped on send).
+UNROUTED_PIPELINE = DeliveryPipeline(0.0, 0.0, None)
+
+
+class HostDatapath:
+    """The compiled receive side of one host.
+
+    Created once per host; every slot is bound to an object the host owns
+    and mutates in place (socket table, defrag cache, stats block), so the
+    compiled paths observe live state without per-packet attribute chases.
+    OS-profile *flags* are copied at construction — profiles are fixed at
+    host creation everywhere in the codebase; a caller that mutates one
+    afterwards must call :meth:`recompile`.
+    """
+
+    __slots__ = (
+        "__weakref__",  # STAGES holds datapaths by weak reference
+        "host",
+        "simulator",
+        "defrag",
+        "defrag_buckets",
+        "sockets",
+        "stats",
+        "verify_checksum",
+        "drops_fragments",
+        # Per-stage wall-time accumulators, merged into repro.perf.STAGES
+        # snapshots while collection is enabled.
+        "t_defrag",
+        "t_checksum",
+        "t_demux",
+        "t_handler",
+        "n_defrag",
+        "n_checksum",
+        "n_demux",
+        "n_handler",
+    )
+
+    def __init__(self, host: "Host") -> None:
+        self.host = host
+        self.simulator = host.simulator
+        self.defrag = host.defrag
+        self.defrag_buckets = host.defrag._buckets  # friend access, see module doc
+        self.sockets = host._sockets  # friend access, see module doc
+        self.stats = host.stats
+        self.verify_checksum = host.profile.verify_udp_checksum
+        self.drops_fragments = host.profile.drops_fragments
+        self.t_defrag = self.t_checksum = self.t_demux = self.t_handler = 0.0
+        self.n_defrag = self.n_checksum = self.n_demux = self.n_handler = 0
+        STAGES.attach(self)
+
+    def recompile(self) -> None:
+        """Re-read the host's profile flags (after an explicit mutation)."""
+        self.verify_checksum = self.host.profile.verify_udp_checksum
+        self.drops_fragments = self.host.profile.drops_fragments
+
+    # ----------------------------------------------------------- fast paths
+    def deliver(self, packet: IPv4Packet) -> None:
+        """Full-verification delivery: the default-profile compiled chain.
+
+        Byte-for-byte and counter-for-counter equivalent to the
+        pre-refactor ``Host.receive`` → ``DefragmentationCache`` →
+        ``decode_udp`` → ``UDPSocket.deliver`` chain (pinned by the golden
+        determinism test), flattened into one frame.
+        """
+        if STAGES.enabled:
+            return self._deliver_timed(packet, self.verify_checksum, True)
+        host = self.host
+        tap = host.packet_tap
+        if tap is not None:
+            tap(packet)
+        if packet.protocol is not _UDP:
+            return self._deliver_other(packet)
+        if packet.more_fragments or packet.fragment_offset:
+            packet = self._reassemble(packet)
+            if packet is None:
+                return
+        elif self.defrag_buckets:
+            # Real kernels sweep reassembly timers on every arrival; the
+            # empty-cache case (almost every packet) skips it entirely.
+            self.defrag.purge_expired(self.simulator._now)
+        stats = self.stats
+        data = packet.payload
+        size = len(data)
+        if size < UDP_HEADER_LEN:
+            stats.udp_checksum_failures += 1
+            return
+        src_port, dst_port, length, checksum = _UNPACK_UDP_HEADER(data)
+        if length != size:
+            stats.udp_checksum_failures += 1
+            return
+        payload = data[UDP_HEADER_LEN:]
+        if checksum and self.verify_checksum:
+            # Arithmetic verify, inlined and deliberately uncached: spoofing
+            # sweeps present a new payload per packet, so a memo here would
+            # pay hashing and eviction for a ~0% hit rate; the extra call
+            # frames of udp_checksum_arith cost ~6% of a Table II run on
+            # this path.  Mirrors udp_checksum_arith / _fold_checksum word
+            # for word — drift is caught by test_prop_batch_delivery
+            # (arith-vs-cached property) and test_datapath's
+            # instrumented-vs-uninstrumented counter comparison (the timed
+            # twin calls udp_checksum_arith instead).
+            padded = payload + b"\x00" if (size - UDP_HEADER_LEN) & 1 else payload
+            folded = (
+                _address_word_sum(packet.src)
+                + _address_word_sum(packet.dst)
+                + 17
+                + length
+                + length
+                + src_port
+                + dst_port
+                + int.from_bytes(padded, "big") % 0xFFFF
+            ) % 0xFFFF
+            expected = ~(folded if folded else 0xFFFF) & 0xFFFF
+            if (expected if expected else 0xFFFF) != checksum:
+                stats.udp_checksum_failures += 1
+                return
+        stats.udp_received += 1
+        socket = self.sockets.get(dst_port)
+        if socket is None or socket.closed:
+            return
+        handler = socket.on_datagram
+        if handler is not None:
+            handler(payload, packet.src, src_port)
+        else:
+            socket.inbox.append(
+                ReceivedDatagram(payload, packet.src, src_port, self.simulator._now)
+            )
+
+    def deliver_trusted(self, packet: IPv4Packet) -> None:
+        """Trusted-link delivery: no checksum verify, no unfragmented
+        defrag bookkeeping.  Fragmented packets still reassemble fully."""
+        if STAGES.enabled:
+            return self._deliver_timed(packet, False, False)
+        host = self.host
+        tap = host.packet_tap
+        if tap is not None:
+            tap(packet)
+        if packet.protocol is not _UDP:
+            return self._deliver_other(packet)
+        if packet.more_fragments or packet.fragment_offset:
+            packet = self._reassemble(packet)
+            if packet is None:
+                return
+        stats = self.stats
+        data = packet.payload
+        size = len(data)
+        if size < UDP_HEADER_LEN:
+            stats.udp_checksum_failures += 1
+            return
+        src_port, dst_port, length, _checksum = _UNPACK_UDP_HEADER(data)
+        if length != size:
+            stats.udp_checksum_failures += 1
+            return
+        payload = data[UDP_HEADER_LEN:]
+        stats.udp_received += 1
+        socket = self.sockets.get(dst_port)
+        if socket is None or socket.closed:
+            return
+        handler = socket.on_datagram
+        if handler is not None:
+            handler(payload, packet.src, src_port)
+        else:
+            socket.inbox.append(
+                ReceivedDatagram(payload, packet.src, src_port, self.simulator._now)
+            )
+
+    def deliver_flex(self, packet: IPv4Packet, verify: bool, bookkeeping: bool) -> None:
+        """Generic delivery for mixed link profiles (one stage trusted,
+        the other not).  Exotic configurations only; not a hot path — but
+        it still honours the collection switch: timing runs only while
+        stage collection is enabled, like the canonical paths."""
+        verify = verify and self.verify_checksum
+        if STAGES.enabled:
+            return self._deliver_timed(packet, verify, bookkeeping)
+        host = self.host
+        tap = host.packet_tap
+        if tap is not None:
+            tap(packet)
+        if packet.protocol is not _UDP:
+            return self._deliver_other(packet)
+        if packet.more_fragments or packet.fragment_offset:
+            packet = self._reassemble(packet)
+            if packet is None:
+                return
+        elif bookkeeping and self.defrag_buckets:
+            self.defrag.purge_expired(self.simulator._now)
+        stats = self.stats
+        data = packet.payload
+        size = len(data)
+        if size < UDP_HEADER_LEN:
+            stats.udp_checksum_failures += 1
+            return
+        src_port, dst_port, length, checksum = _UNPACK_UDP_HEADER(data)
+        if length != size:
+            stats.udp_checksum_failures += 1
+            return
+        payload = data[UDP_HEADER_LEN:]
+        if checksum and verify:
+            if checksum != udp_checksum_arith(
+                packet.src, packet.dst, src_port, dst_port, payload
+            ):
+                stats.udp_checksum_failures += 1
+                return
+        stats.udp_received += 1
+        socket = self.sockets.get(dst_port)
+        if socket is None or socket.closed:
+            return
+        handler = socket.on_datagram
+        if handler is not None:
+            handler(payload, packet.src, src_port)
+        else:
+            socket.inbox.append(
+                ReceivedDatagram(payload, packet.src, src_port, self.simulator._now)
+            )
+
+    # ----------------------------------------------------------- slow paths
+    def _reassemble(self, packet: IPv4Packet) -> Optional[IPv4Packet]:
+        """Fragment arrival: honour the drop-fragments profile, reassemble."""
+        if self.drops_fragments:
+            return None
+        return self.defrag.add_fragment(packet, self.simulator._now)
+
+    def _deliver_other(self, packet: IPv4Packet) -> None:
+        """Non-UDP traffic: ICMP handling, defrag bookkeeping for the rest."""
+        if packet.protocol is _ICMP:
+            message = packet.metadata.get("icmp")
+            if isinstance(message, ICMPMessage):
+                self.host._handle_icmp(message, packet.src)
+            return
+        if (packet.more_fragments or packet.fragment_offset) and self.drops_fragments:
+            return
+        # Mirrors the defrag bookkeeping of the UDP path; a reassembled
+        # non-UDP packet has no deliverable upper layer in this simulator.
+        self.defrag.add_fragment(packet, self.simulator._now)
+
+    # -------------------------------------------------------- instrumented
+    def _deliver_timed(self, packet: IPv4Packet, verify: bool, bookkeeping: bool) -> None:
+        """The stage-attributing twin of the fast paths.
+
+        Accumulates per-stage wall time into slots (merged into
+        ``STAGES`` snapshots via :meth:`collect_into`).  Only runs while
+        stage collection is enabled; headline throughput numbers are
+        measured on the uninstrumented paths.
+        """
+        host = self.host
+        tap = host.packet_tap
+        if tap is not None:
+            tap(packet)
+        if packet.protocol is not _UDP:
+            return self._deliver_other(packet)
+        t0 = perf_counter()
+        if packet.more_fragments or packet.fragment_offset:
+            packet = self._reassemble(packet)
+            t1 = perf_counter()
+            self.t_defrag += t1 - t0
+            self.n_defrag += 1
+            if packet is None:
+                return
+        else:
+            if bookkeeping and self.defrag_buckets:
+                self.defrag.purge_expired(self.simulator._now)
+            t1 = perf_counter()
+            self.t_defrag += t1 - t0
+            self.n_defrag += 1
+        stats = self.stats
+        data = packet.payload
+        size = len(data)
+        ok = size >= UDP_HEADER_LEN
+        if ok:
+            src_port, dst_port, length, checksum = _UNPACK_UDP_HEADER(data)
+            ok = length == size
+        if ok:
+            payload = data[UDP_HEADER_LEN:]
+            if checksum and verify:
+                ok = checksum == udp_checksum_arith(
+                    packet.src, packet.dst, src_port, dst_port, payload
+                )
+        t2 = perf_counter()
+        self.t_checksum += t2 - t1
+        self.n_checksum += 1
+        if not ok:
+            stats.udp_checksum_failures += 1
+            return
+        stats.udp_received += 1
+        socket = self.sockets.get(dst_port)
+        if socket is None or socket.closed:
+            t3 = perf_counter()
+            self.t_demux += t3 - t2
+            self.n_demux += 1
+            return
+        handler = socket.on_datagram
+        if handler is None:
+            socket.inbox.append(
+                ReceivedDatagram(payload, packet.src, src_port, self.simulator._now)
+            )
+            t3 = perf_counter()
+            self.t_demux += t3 - t2
+            self.n_demux += 1
+            return
+        t3 = perf_counter()
+        self.t_demux += t3 - t2
+        self.n_demux += 1
+        handler(payload, packet.src, src_port)
+        t4 = perf_counter()
+        self.t_handler += t4 - t3
+        self.n_handler += 1
+
+    # ----------------------------------------------------------- reporting
+    def collect_into(self, times: dict, calls: dict) -> None:
+        """Merge this datapath's stage accumulators into counter dicts."""
+        if self.n_defrag:
+            times["defrag"] = times.get("defrag", 0.0) + self.t_defrag
+            calls["defrag"] = calls.get("defrag", 0) + self.n_defrag
+        if self.n_checksum:
+            times["checksum"] = times.get("checksum", 0.0) + self.t_checksum
+            calls["checksum"] = calls.get("checksum", 0) + self.n_checksum
+        if self.n_demux:
+            times["demux"] = times.get("demux", 0.0) + self.t_demux
+            calls["demux"] = calls.get("demux", 0) + self.n_demux
+        if self.n_handler:
+            times["handler"] = times.get("handler", 0.0) + self.t_handler
+            calls["handler"] = calls.get("handler", 0) + self.n_handler
+
+    def reset_stage_counters(self) -> None:
+        """Zero the per-stage accumulators."""
+        self.t_defrag = self.t_checksum = self.t_demux = self.t_handler = 0.0
+        self.n_defrag = self.n_checksum = self.n_demux = self.n_handler = 0
+
+
+def compile_deliver(datapath: HostDatapath, profile: LinkProfile):
+    """Pick the delivery entry point for one link profile.
+
+    The two canonical profiles get the dedicated flat paths; mixed
+    profiles (one stage trusted, the other not) fall back to the generic
+    flexible path via a small binding closure.
+    """
+    if profile.verify_checksum and profile.defrag_bookkeeping:
+        return datapath.deliver
+    if not profile.verify_checksum and not profile.defrag_bookkeeping:
+        return datapath.deliver_trusted
+    verify = profile.verify_checksum
+    bookkeeping = profile.defrag_bookkeeping
+
+    def deliver_mixed(packet: IPv4Packet) -> None:
+        datapath.deliver_flex(packet, verify, bookkeeping)
+
+    return deliver_mixed

@@ -11,16 +11,17 @@ honoured, and how IPIDs are assigned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
+from repro.netsim.datapath import HostDatapath
 from repro.netsim.defrag import DefragmentationCache, ReassemblyPolicy
-from repro.netsim.errors import PacketError, PortInUseError
-from repro.netsim.fragmentation import fragment_packet
+from repro.netsim.errors import PortInUseError
+from repro.netsim.fragmentation import MINIMUM_IPV4_MTU, fragment_packet
 from repro.netsim.icmp import ICMPMessage
 from repro.netsim.ipid import GlobalCounterIPID, IPIDAllocator
-from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.packet import IPProtocol, IPV4_HEADER_LEN, IPv4Packet
 from repro.netsim.sockets import DatagramHandler, UDPSocket
-from repro.netsim.udp import UDPDatagram, decode_udp, encode_udp
+from repro.netsim.udp import UDPDatagram, encode_udp
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
     from repro.netsim.network import Network
@@ -90,9 +91,13 @@ class OSProfile:
         return cls(name="fragment-filtering", drops_fragments=True)
 
 
-@dataclass
+@dataclass(slots=True)
 class HostStats:
-    """Per-host counters used by tests and measurement reports."""
+    """Per-host counters used by tests and measurement reports.
+
+    Slotted: the delivery pipeline bumps these per packet, and slot access
+    skips the per-instance ``__dict__`` lookup.
+    """
 
     udp_sent: int = 0
     udp_received: int = 0
@@ -142,6 +147,10 @@ class Host:
         #: to its own queries); this is not an off-path capture of others'
         #: traffic.
         self.packet_tap: Optional[Callable[[IPv4Packet], None]] = None
+        #: The compiled receive side (capture tap → defrag → checksum →
+        #: demux → handler as one flat call chain); built last so every
+        #: object it binds exists.  See :mod:`repro.netsim.datapath`.
+        self.datapath = HostDatapath(self)
 
     # ------------------------------------------------------------------ UDP
     def bind(self, port: int, on_datagram: Optional[DatagramHandler] = None) -> UDPSocket:
@@ -186,6 +195,11 @@ class Host:
     def _transmit(self, packet: IPv4Packet) -> None:
         """Fragment to the path MTU and hand fragments to the network."""
         mtu = self.path_mtu(packet.dst)
+        if MINIMUM_IPV4_MTU <= mtu and IPV4_HEADER_LEN + len(packet.payload) <= mtu:
+            # Fast path: the packet fits (and the MTU is not so small that
+            # the fragmenter would reject it outright) — skip the call.
+            self.network.transmit(packet)
+            return
         fragments = fragment_packet(packet, mtu)
         if len(fragments) > 1:
             self.stats.packets_fragmented += 1
@@ -225,40 +239,23 @@ class Host:
 
     # -------------------------------------------------------------- receive
     def receive(self, packet: IPv4Packet) -> None:
-        """Entry point called by the network when a packet reaches this host."""
-        now = self.simulator.now
-        if self.packet_tap is not None:
-            self.packet_tap(packet)
-        if packet.protocol is IPProtocol.ICMP:
-            message = packet.metadata.get("icmp")
-            if isinstance(message, ICMPMessage):
-                self._handle_icmp(message, packet.src)
-            return
+        """Entry point for a packet reaching this host.
 
-        if packet.is_fragment and self.profile.drops_fragments:
-            return
-        reassembled = self.defrag.add_fragment(packet, now)
-        if reassembled is None:
-            return
-        if reassembled.protocol is IPProtocol.UDP:
-            self._deliver_udp(reassembled, now)
+        Delegates to the compiled datapath (full-verification profile) so
+        direct calls from tests share the single delivery code path the
+        network uses.
+        """
+        self.datapath.deliver(packet)
 
-    def _deliver_udp(self, packet: IPv4Packet, now: float) -> None:
-        try:
-            datagram = decode_udp(
-                packet.src,
-                packet.dst,
-                packet.payload,
-                verify=self.profile.verify_udp_checksum,
-            )
-        except PacketError:
-            self.stats.udp_checksum_failures += 1
-            return
-        self.stats.udp_received += 1
-        socket = self._sockets.get(datagram.dst_port)
-        if socket is None:
-            return
-        socket.deliver(datagram.payload, packet.src, datagram.src_port, now)
+    def receive_batch(self, packets: Iterable[IPv4Packet]) -> None:
+        """Deliver a burst of packets to this host in order.
+
+        Equivalent to calling :meth:`receive` per packet; the deliver
+        callable is resolved once for the whole burst.
+        """
+        deliver = self.datapath.deliver
+        for packet in packets:
+            deliver(packet)
 
     # ------------------------------------------------------------- utilities
     def bound_ports(self) -> list[int]:

@@ -11,53 +11,94 @@ model of the paper:
   everything it knows it must learn by querying the servers itself.
 * :meth:`Network.attach_capture` gives tests (and explicit MitM baselines)
   visibility into delivered traffic.
+
+Delivery runs through pipelines compiled per (src, dst) pair (see
+:mod:`repro.netsim.datapath`): the transmit hot path is one dict hit that
+yields the resolved latency, loss probability and the destination host's
+flat deliver callable, then a single heap push.  Links carry an optional
+:class:`~repro.netsim.datapath.LinkProfile` trust level; the default profile
+performs full verification and is what every golden fixed-seed run uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from heapq import heappush
+from typing import Iterable, Optional
 
 from repro.netsim.capture import PacketCapture
-from repro.netsim.errors import NoRouteError
+from repro.netsim.datapath import (
+    DEFAULT_LINK_PROFILE,
+    DeliveryPipeline,
+    LinkProfile,
+    UNROUTED_PIPELINE,
+    compile_deliver,
+)
+from repro.netsim.errors import NoRouteError, SimulationError
 from repro.netsim.host import Host, OSProfile
 from repro.netsim.ipid import IPIDAllocator
 from repro.netsim.packet import IPv4Packet
 from repro.netsim.simulator import Simulator
 
 
-@dataclass
+@dataclass(frozen=True)
 class Link:
-    """Delivery parameters between a pair of hosts (symmetric)."""
+    """Delivery parameters between a pair of hosts (symmetric).
+
+    Frozen: compiled pipelines bake these scalars in at first transmit, so
+    in-place mutation would be silently ignored — change a link by calling
+    :meth:`Network.set_link` with a new ``Link``, which also invalidates
+    the compiled pipelines.
+    """
 
     latency: float = 0.01
     loss_probability: float = 0.0
     mtu: int = 1500
+    #: Optional trust level; ``None`` means the default (full verification)
+    #: profile.  See :class:`repro.netsim.datapath.LinkProfile`.
+    profile: Optional[LinkProfile] = None
 
 
-#: Bound on the per-(src, dst) link-resolution cache; src is attacker
+#: Bound on the per-(src, dst) compiled-pipeline cache; src is attacker
 #: controlled (spoofed), so the cache is cleared wholesale when full.
-LINK_CACHE_MAX_ENTRIES = 65536
+PIPELINE_CACHE_MAX_ENTRIES = 65536
+
+#: Backwards-compatible alias (the pipeline cache replaced the link cache).
+LINK_CACHE_MAX_ENTRIES = PIPELINE_CACHE_MAX_ENTRIES
 
 
 class Network:
-    """A set of hosts plus the rules for moving packets between them."""
+    """A set of hosts plus the rules for moving packets between them.
+
+    Parameters
+    ----------
+    strict_routing:
+        When true, :meth:`transmit` raises :class:`NoRouteError` (a typed
+        :class:`~repro.netsim.errors.NetSimError`) for packets addressed to
+        an unknown destination instead of silently dropping them.  The
+        default keeps the Internet-like silent drop — attack scenarios
+        legitimately send packets to unrouted addresses (e.g. a victim
+        polling a poisoned address with no host behind it) — while strict
+        mode turns typos in experiment topologies into hard errors.
+    """
 
     def __init__(
         self,
         simulator: Simulator,
         default_latency: float = 0.01,
         default_loss: float = 0.0,
+        strict_routing: bool = False,
     ) -> None:
         self.simulator = simulator
         self.default_link = Link(latency=default_latency, loss_probability=default_loss)
+        self.strict_routing = strict_routing
         self._hosts: dict[str, Host] = {}
         self._links: dict[frozenset[str], Link] = {}
-        #: Per-(src, dst) resolution cache for link_between; invalidated by
-        #: set_link.  Avoids building a frozenset per delivered packet.
-        #: Bounded (clear-on-full, like the intern tables): src is whatever
-        #: the sender claims, so spoofing sweeps must not grow it unbounded.
-        self._link_cache: dict[tuple[str, str], Link] = {}
+        #: Per-(src, dst) compiled delivery pipelines; invalidated by
+        #: set_link and add_host.  Bounded (clear-on-full, like the intern
+        #: tables): src is whatever the sender claims, so spoofing sweeps
+        #: must not grow it unbounded.
+        self._pipelines: dict[tuple[str, str], DeliveryPipeline] = {}
         self._captures: list[PacketCapture] = []
         self._rng = simulator.spawn_rng()
         self.packets_transmitted = 0
@@ -84,6 +125,8 @@ class Network:
             interface_mtu=interface_mtu,
         )
         self._hosts[ip] = host
+        # A cached "unrouted" pipeline for this address is now stale.
+        self._pipelines.clear()
         return host
 
     def host(self, ip: str) -> Host:
@@ -103,12 +146,72 @@ class Network:
     # ---------------------------------------------------------------- links
     def set_link(self, ip_a: str, ip_b: str, link: Link) -> None:
         """Override delivery parameters between two addresses."""
+        if link.latency < 0:
+            raise SimulationError(f"negative link latency: {link.latency}")
         self._links[frozenset((ip_a, ip_b))] = link
-        self._link_cache.clear()
+        self._pipelines.clear()
 
     def link_between(self, ip_a: str, ip_b: str) -> Link:
         """The link used between two addresses (default if not overridden)."""
         return self._links.get(frozenset((ip_a, ip_b)), self.default_link)
+
+    def trust_link(self, ip_a: str, ip_b: str) -> None:
+        """Mark the link between two addresses as trusted (opt-in fast path).
+
+        Keeps the current latency/loss/MTU and swaps the profile for
+        :meth:`LinkProfile.trusted`, which skips UDP checksum verification
+        and unfragmented-packet defrag bookkeeping on delivery.
+        """
+        current = self.link_between(ip_a, ip_b)
+        self.set_link(
+            ip_a,
+            ip_b,
+            Link(
+                latency=current.latency,
+                loss_probability=current.loss_probability,
+                mtu=current.mtu,
+                profile=LinkProfile.trusted(),
+            ),
+        )
+
+    # ------------------------------------------------------------ pipelines
+    def pipeline_for(self, src: str, dst: str) -> DeliveryPipeline:
+        """The compiled pipeline used from ``src`` to ``dst`` (cached).
+
+        Raises :class:`NoRouteError` when the destination is unknown —
+        callers that want the transmit-path drop semantics go through
+        :meth:`transmit` instead.
+        """
+        pipeline = self._pipelines.get((src, dst))
+        if pipeline is None:
+            pipeline = self._compile_pipeline(src, dst)
+        if pipeline.deliver is None:
+            raise NoRouteError(f"no host at {dst}")
+        return pipeline
+
+    def _compile_pipeline(self, src: str, dst: str) -> DeliveryPipeline:
+        """Resolve host, link and trust profile into one cached pipeline."""
+        host = self._hosts.get(dst)
+        if host is None:
+            pipeline = UNROUTED_PIPELINE
+        else:
+            link = self.link_between(src, dst)
+            if link.latency < 0:
+                raise SimulationError(f"negative link latency: {link.latency}")
+            profile = link.profile or DEFAULT_LINK_PROFILE
+            pipeline = DeliveryPipeline(
+                link.latency,
+                link.loss_probability,
+                compile_deliver(host.datapath, profile),
+            )
+        if len(self._pipelines) >= PIPELINE_CACHE_MAX_ENTRIES:
+            self._pipelines.clear()
+        self._pipelines[(src, dst)] = pipeline
+        return pipeline
+
+    def invalidate_pipelines(self) -> None:
+        """Drop every compiled pipeline (they recompile on next transmit)."""
+        self._pipelines.clear()
 
     # ------------------------------------------------------------- captures
     def attach_capture(self, capture: PacketCapture) -> None:
@@ -124,29 +227,78 @@ class Network:
         """Deliver a packet from its (claimed) source to its destination.
 
         Packets addressed to unknown destinations are silently dropped, like
-        the real Internet does for unrouted addresses.
+        the real Internet does for unrouted addresses — unless the network
+        was built with ``strict_routing=True``, in which case a typed
+        :class:`NoRouteError` is raised.
         """
         self.packets_transmitted += 1
-        destination = self._hosts.get(packet.dst)
-        if destination is None:
+        pipeline = self._pipelines.get((packet.src, packet.dst))
+        if pipeline is None:
+            pipeline = self._compile_pipeline(packet.src, packet.dst)
+        deliver = pipeline.deliver
+        if deliver is None:
+            if self.strict_routing:
+                raise NoRouteError(f"no host at {packet.dst}")
             self.packets_dropped += 1
             return
-        cache_key = (packet.src, packet.dst)
-        link = self._link_cache.get(cache_key)
-        if link is None:
-            link = self.link_between(packet.src, packet.dst)
-            if len(self._link_cache) >= LINK_CACHE_MAX_ENTRIES:
-                self._link_cache.clear()
-            self._link_cache[cache_key] = link
-        if link.loss_probability > 0 and self._rng.random() < link.loss_probability:
+        if pipeline.loss_probability > 0 and self._rng.random() < pipeline.loss_probability:
             self.packets_dropped += 1
             return
+        simulator = self.simulator
         if self._captures:
+            now = simulator._now
             for capture in self._captures:
-                capture.observe(packet, self.simulator.now)
-        # Hot path: post the bound receive method with the packet as a
-        # positional argument — no per-packet closure, label or Event object.
-        self.simulator.post(link.latency, destination.receive, packet)
+                capture.observe(packet, now)
+        # Hot path: an inlined Simulator.post — compiled pipelines verified
+        # their latency non-negative at compile time, so the delay check and
+        # the call frame are both skipped.  One anonymous heap entry per
+        # packet, identical to what post() would push.
+        sequence = simulator._sequence
+        simulator._sequence = sequence + 1
+        heappush(
+            simulator._queue,
+            (simulator._now + pipeline.latency, sequence, deliver, packet),
+        )
+
+    def transmit_batch(self, packets: Iterable[IPv4Packet]) -> None:
+        """Deliver a whole burst of packets as one call.
+
+        Event-for-event equivalent to calling :meth:`transmit` once per
+        packet in order (pinned by a property test): the same heap entries
+        with the same sequence numbers, the same loss draws in the same
+        order, the same capture observations and the same counters.  The
+        win is constant-factor only — lookups, bound methods and the
+        simulator handles are hoisted out of the per-packet loop, which is
+        what the spoofed-burst attack loops hand the simulator.
+        """
+        pipelines = self._pipelines
+        compile_pipeline = self._compile_pipeline
+        captures = self._captures
+        rng_random = self._rng.random
+        strict = self.strict_routing
+        simulator = self.simulator
+        queue = simulator._queue
+        now = simulator._now  # constant: no event runs mid-batch
+        for packet in packets:
+            self.packets_transmitted += 1
+            pipeline = pipelines.get((packet.src, packet.dst))
+            if pipeline is None:
+                pipeline = compile_pipeline(packet.src, packet.dst)
+            deliver = pipeline.deliver
+            if deliver is None:
+                if strict:
+                    raise NoRouteError(f"no host at {packet.dst}")
+                self.packets_dropped += 1
+                continue
+            if pipeline.loss_probability > 0 and rng_random() < pipeline.loss_probability:
+                self.packets_dropped += 1
+                continue
+            if captures:
+                for capture in captures:
+                    capture.observe(packet, now)
+            sequence = simulator._sequence
+            simulator._sequence = sequence + 1
+            heappush(queue, (now + pipeline.latency, sequence, deliver, packet))
 
     def inject(self, packet: IPv4Packet, mark_spoofed: bool = True) -> None:
         """Off-path injection of a (typically source-spoofed) packet.
@@ -159,3 +311,13 @@ class Network:
         if mark_spoofed:
             packet.metadata.setdefault("spoofed", True)
         self.transmit(packet)
+
+    def inject_batch(
+        self, packets: Iterable[IPv4Packet], mark_spoofed: bool = True
+    ) -> None:
+        """Off-path injection of a whole burst (see :meth:`transmit_batch`)."""
+        packets = list(packets)
+        if mark_spoofed:
+            for packet in packets:
+                packet.metadata.setdefault("spoofed", True)
+        self.transmit_batch(packets)

@@ -314,35 +314,61 @@ class Simulator:
             finally:
                 self.events_processed += processed
             return processed
-        # Bounded path: same pop-skip-dispatch loop with head checks, again
+        # Bounded paths: same pop-skip-dispatch loop with head checks, again
         # reconciling the processed counter on exit.  Dispatch is inlined
         # (rather than delegating to step()) so bounded runs — every
         # ``run_for`` during warmup and attacks — do not materialise an
-        # Event object per anonymous entry just to drop it.
+        # Event object per anonymous entry just to drop it.  The until-only
+        # shape (what run_for uses, hundreds of thousands of events per
+        # experiment) gets its own loop without the max_events check.
         try:
-            while queue:
-                if max_events is not None and processed >= max_events:
-                    break
-                head = queue[0]
-                if head[3] is _EVENT and head[2].cancelled:
-                    heappop(queue)
-                    continue
-                if until is not None and head[0] > until:
-                    self._now = max(self._now, until)
-                    break
-                time_, _sequence, target, arg = heappop(queue)
-                self._now = time_
-                if arg is _EVENT:
-                    target._sim = None  # executed: late cancel() is a no-op
-                    if target.args:
-                        target.callback(*target.args)
+            if max_events is None:
+                while queue:
+                    head = queue[0]
+                    if head[3] is _EVENT and head[2].cancelled:
+                        heappop(queue)
+                        continue
+                    if head[0] > until:
+                        if until > self._now:
+                            self._now = until
+                        break
+                    time_, _sequence, target, arg = heappop(queue)
+                    self._now = time_
+                    if arg is _EVENT:
+                        target._sim = None  # executed: late cancel() is a no-op
+                        if target.args:
+                            target.callback(*target.args)
+                        else:
+                            target.callback()
+                    elif arg is _NO_ARG:
+                        target()
                     else:
-                        target.callback()
-                elif arg is _NO_ARG:
-                    target()
-                else:
-                    target(arg)
-                processed += 1
+                        target(arg)
+                    processed += 1
+            else:
+                while queue:
+                    if processed >= max_events:
+                        break
+                    head = queue[0]
+                    if head[3] is _EVENT and head[2].cancelled:
+                        heappop(queue)
+                        continue
+                    if until is not None and head[0] > until:
+                        self._now = max(self._now, until)
+                        break
+                    time_, _sequence, target, arg = heappop(queue)
+                    self._now = time_
+                    if arg is _EVENT:
+                        target._sim = None  # executed: late cancel() is a no-op
+                        if target.args:
+                            target.callback(*target.args)
+                        else:
+                            target.callback()
+                    elif arg is _NO_ARG:
+                        target()
+                    else:
+                        target(arg)
+                    processed += 1
         finally:
             self.events_processed += processed
         if until is not None and not queue:

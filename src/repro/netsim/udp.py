@@ -78,22 +78,83 @@ def _udp_checksum_cached(
     src_ip: str, dst_ip: str, src_port: int, dst_port: int, payload: bytes
 ) -> int:
     length = UDP_HEADER_LEN + len(payload)
-    if len(payload) & 1:
-        payload = payload + b"\x00"
-    total = (
+    return _fold_checksum(
         _address_word_sum(src_ip)
         + _address_word_sum(dst_ip)
-        + 17
         + length
         + length
         + src_port
         + dst_port
-        + int.from_bytes(payload, "big") % 0xFFFF
+        + payload_word_sum(payload)
     )
-    folded = total % 0xFFFF
+
+
+def _fold_checksum(word_total: int) -> int:
+    """Fold a pseudo-header word total (protocol word excluded) to RFC 768.
+
+    The caller's total omits the constant protocol word (17), added here.
+    Because ``2**16 ≡ 1 (mod 0xFFFF)``, folding is a single modulo; the
+    total is always positive (the nonzero length field contributes twice),
+    so the multiple-of-0xFFFF case folds to ``0xFFFF`` exactly as a 16-bit
+    word loop does.
+    """
+    folded = (word_total + 17) % 0xFFFF
     checksum = ~(folded if folded else 0xFFFF) & 0xFFFF
     # RFC 768: a computed checksum of zero is transmitted as all ones.
     return checksum if checksum != 0 else 0xFFFF
+
+
+def payload_word_sum(payload: bytes) -> int:
+    """The folded 16-bit word sum of a payload (odd lengths zero-padded).
+
+    Spoofing loops that send many datagrams with the same payload compute
+    this once and combine it with cached address sums via
+    :func:`udp_checksum_from_sums`, skipping the per-packet memo lookup.
+    """
+    if len(payload) & 1:
+        payload = payload + b"\x00"
+    return int.from_bytes(payload, "big") % 0xFFFF
+
+
+def udp_checksum_from_sums(
+    src_sum: int,
+    dst_sum: int,
+    src_port: int,
+    dst_port: int,
+    length: int,
+    payload_sum: int,
+) -> int:
+    """Checksum from precomputed address/payload word sums.
+
+    ``src_sum``/``dst_sum`` come from :func:`_address_word_sum`,
+    ``payload_sum`` from :func:`payload_word_sum`, and ``length`` is the
+    UDP length field (header + payload bytes).  Bit-identical to
+    :func:`udp_checksum` by construction (pinned by property tests).
+    """
+    return _fold_checksum(
+        src_sum + dst_sum + length + length + src_port + dst_port + payload_sum
+    )
+
+
+def udp_checksum_arith(
+    src_ip: str, dst_ip: str, src_port: int, dst_port: int, payload: bytes
+) -> int:
+    """Uncached arithmetic checksum for the delivery pipeline's verify stage.
+
+    Verification sees a fresh payload per packet during spoofing sweeps, so
+    the memo in :func:`udp_checksum` would pay hashing and eviction for a
+    near-zero hit rate; this variant just computes.
+    """
+    length = UDP_HEADER_LEN + len(payload)
+    return _fold_checksum(
+        _address_word_sum(src_ip)
+        + _address_word_sum(dst_ip)
+        + length
+        + length
+        + src_port
+        + dst_port
+        + payload_word_sum(payload)
+    )
 
 
 def encode_udp(src_ip: str, dst_ip: str, datagram: UDPDatagram) -> bytes:

@@ -57,6 +57,84 @@ class TestCampaignMechanics:
         assert not server.is_rate_limiting(small_testbed.attacker.query_host.ip)
 
 
+class TestBatchedRounds:
+    def test_batched_rounds_match_per_campaign_outcomes(self):
+        """Batched mode (one event per round, transmit_batch burst) must
+        rate-limit the same servers with the same query volume as the
+        default per-campaign scheduling — only the event-loop shape may
+        differ."""
+        from repro.testbed import TestbedConfig, build_testbed
+
+        def run(batched: bool):
+            testbed = build_testbed(TestbedConfig(pool_size=24, seed=7))
+            victim_ip = "192.0.2.150"
+            remover = AssociationRemover(
+                testbed.attacker,
+                testbed.simulator,
+                victim_ip,
+                query_interval=2.0,
+                batched=batched,
+            )
+            targets = testbed.pool.addresses[:6]
+            remover.target_many(targets)
+            testbed.run_for(120)
+            limited = sorted(
+                ip
+                for ip in targets
+                if testbed.pool.servers[ip].is_rate_limiting(victim_ip)
+            )
+            per_campaign = sorted(
+                remover.campaigns[ip].queries_sent for ip in targets
+            )
+            return limited, per_campaign, remover.stats.spoofed_queries_sent
+
+        assert run(batched=False) == run(batched=True)
+
+    def test_batched_round_stops_when_all_campaigns_stop(self, small_testbed):
+        remover = AssociationRemover(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            "192.0.2.150",
+            query_interval=2.0,
+            batched=True,
+        )
+        remover.target_many(small_testbed.pool.addresses[:3])
+        small_testbed.run_for(20)
+        remover.stop()
+        sent = remover.stats.spoofed_queries_sent
+        small_testbed.run_for(60)
+        assert remover.stats.spoofed_queries_sent == sent
+
+    def test_batched_target_restarts_round_loop(self, small_testbed):
+        remover = AssociationRemover(
+            small_testbed.attacker,
+            small_testbed.simulator,
+            "192.0.2.150",
+            query_interval=2.0,
+            batched=True,
+        )
+        first = small_testbed.pool.addresses[0]
+        remover.target(first)
+        small_testbed.run_for(10)
+        remover.stop()
+        small_testbed.run_for(10)  # round loop drains
+        second = small_testbed.pool.addresses[1]
+        remover.target(second)
+        small_testbed.run_for(20)
+        assert remover.campaigns[second].queries_sent >= 5
+
+    def test_negative_interval_rejected(self, small_testbed):
+        import pytest
+
+        with pytest.raises(ValueError):
+            AssociationRemover(
+                small_testbed.attacker,
+                small_testbed.simulator,
+                "192.0.2.150",
+                query_interval=-1.0,
+            )
+
+
 class TestEffectOnClients:
     def test_victim_associations_become_unreachable(self, small_testbed):
         client = small_testbed.add_client(NtpdClient, config=fast_ntpd_config())

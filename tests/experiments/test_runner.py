@@ -111,6 +111,56 @@ class TestRunnerParallel:
         assert [o.result for o in serial] == [o.result for o in parallel]
 
 
+class TestChunkedSubmission:
+    def test_auto_chunking_covers_grid_in_order(self):
+        runner = ExperimentRunner(max_workers=4)
+        specs = make_grid("_test_square", x=list(range(33)))
+        chunks = runner._chunk(specs)
+        # ceil(33 / 16) = 3 per chunk; contiguous, order-preserving cover.
+        assert all(len(chunk) <= 3 for chunk in chunks)
+        assert [s for chunk in chunks for s in chunk] == specs
+
+    def test_explicit_chunk_size(self):
+        runner = ExperimentRunner(max_workers=4, chunk_size=5)
+        specs = make_grid("_test_square", x=list(range(12)))
+        chunks = runner._chunk(specs)
+        assert [len(chunk) for chunk in chunks] == [5, 5, 2]
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(chunk_size=0)
+
+    def test_chunked_parallel_matches_serial_in_order(self):
+        specs = [
+            RunSpec.make("table3_probabilities", trials=20_000, m_max=m)
+            for m in (2, 3, 4, 5)
+        ]
+        serial = ExperimentRunner(max_workers=1).run(specs)
+        chunked = ExperimentRunner(max_workers=2, chunk_size=2).run(specs)
+        assert [o.result for o in serial] == [o.result for o in chunked]
+        assert [o.spec for o in chunked] == specs
+
+    def test_execution_mode_reports_chunks(self):
+        runner = ExperimentRunner(max_workers=2, chunk_size=1)
+        specs = [
+            RunSpec.make("table3_probabilities", trials=10_000, m_max=2),
+            RunSpec.make("table3_probabilities", trials=10_000, m_max=3),
+        ]
+        runner.run(specs)
+        assert runner.last_execution_mode in (
+            "processes[2] chunks[2]",
+            # Pool creation can fail in constrained sandboxes; the runner
+            # must degrade to serial rather than fail the sweep.
+            "serial (process pool unavailable)",
+        )
+
+    def test_warm_worker_caches_is_idempotent(self):
+        from repro.experiments.warmup import warm_worker_caches
+
+        warm_worker_caches()
+        warm_worker_caches()  # second call must be a cheap no-op
+
+
 class TestReporting:
     def test_outcomes_table_renders(self):
         outcomes = ExperimentRunner(max_workers=1).run(make_grid("_test_square", x=[2, 3]))

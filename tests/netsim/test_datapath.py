@@ -1,0 +1,341 @@
+"""Tests for the compiled delivery pipelines, link trust profiles,
+batched delivery, strict routing and pipeline stage attribution."""
+
+import pytest
+
+from repro.netsim.datapath import (
+    DEFAULT_LINK_PROFILE,
+    LinkProfile,
+    TRUSTED_LINK_PROFILE,
+    UNROUTED_PIPELINE,
+)
+from repro.netsim.errors import NetSimError, NoRouteError
+from repro.netsim.network import Link, Network, PIPELINE_CACHE_MAX_ENTRIES
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.udp import UDPDatagram, encode_udp
+from repro.perf import STAGES
+
+
+def make_net(**network_kwargs):
+    sim = Simulator(seed=7)
+    net = Network(sim, default_latency=0.01, **network_kwargs)
+    a = net.add_host("a", "10.0.0.1")
+    b = net.add_host("b", "10.0.0.2")
+    return sim, net, a, b
+
+
+def corrupted_packet(src: str, dst: str) -> IPv4Packet:
+    """A UDP packet whose checksum was computed for a different source."""
+    datagram = UDPDatagram(src_port=53, dst_port=53, payload=b"forged")
+    payload = encode_udp("9.9.9.9", dst, datagram)
+    return IPv4Packet(src=src, dst=dst, protocol=IPProtocol.UDP, payload=payload)
+
+
+class TestLinkProfiles:
+    def test_default_profile_verifies_everything(self):
+        profile = LinkProfile.default()
+        assert profile.is_default
+        assert profile.verify_checksum and profile.defrag_bookkeeping
+        assert profile is DEFAULT_LINK_PROFILE  # shared singleton
+
+    def test_trusted_profile_skips_verification_stages(self):
+        profile = LinkProfile.trusted()
+        assert not profile.is_default
+        assert not profile.verify_checksum and not profile.defrag_bookkeeping
+        assert profile is TRUSTED_LINK_PROFILE
+
+    def test_default_link_drops_bad_checksum(self):
+        sim, net, a, b = make_net()
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        net.inject(corrupted_packet("10.0.0.1", "10.0.0.2"))
+        sim.run()
+        assert received == []
+        assert b.stats.udp_checksum_failures == 1
+
+    def test_trusted_link_skips_checksum_verification(self):
+        sim, net, a, b = make_net()
+        net.set_link(
+            "10.0.0.1", "10.0.0.2", Link(latency=0.01, profile=LinkProfile.trusted())
+        )
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        net.inject(corrupted_packet("10.0.0.1", "10.0.0.2"))
+        sim.run()
+        # Delivered despite the bad checksum: trust disabled verification.
+        assert received == [b"forged"]
+        assert b.stats.udp_checksum_failures == 0
+
+    def test_trust_link_helper_keeps_latency(self):
+        sim, net, a, b = make_net()
+        net.set_link("10.0.0.1", "10.0.0.2", Link(latency=0.5))
+        net.trust_link("10.0.0.1", "10.0.0.2")
+        link = net.link_between("10.0.0.1", "10.0.0.2")
+        assert link.latency == 0.5
+        assert link.profile is TRUSTED_LINK_PROFILE
+
+    def test_trusted_link_still_reassembles_fragments(self):
+        sim, net, a, b = make_net()
+        net.trust_link("10.0.0.1", "10.0.0.2")
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        from repro.netsim.icmp import frag_needed
+
+        message = frag_needed(296)
+        message.metadata["about_destination"] = "10.0.0.2"
+        a._handle_icmp(message, "10.0.0.99")
+        payload = bytes(range(256)) * 4
+        a.bind(0).sendto(payload, "10.0.0.2", 53)
+        sim.run()
+        assert received == [payload]
+        assert b.defrag.stats.packets_reassembled == 1
+
+    def test_mixed_profile_verify_only(self):
+        sim, net, a, b = make_net()
+        profile = LinkProfile("verify-only", verify_checksum=True, defrag_bookkeeping=False)
+        net.set_link("10.0.0.1", "10.0.0.2", Link(latency=0.01, profile=profile))
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        net.inject(corrupted_packet("10.0.0.1", "10.0.0.2"))
+        a.bind(4000).sendto(b"good", "10.0.0.2", 53)
+        sim.run()
+        # Checksum stage still active, bad packet dropped, good delivered.
+        assert received == [b"good"]
+        assert b.stats.udp_checksum_failures == 1
+
+
+class TestStrictRouting:
+    def test_default_network_silently_drops_unknown_destination(self):
+        sim, net, a, _ = make_net()
+        a.bind(0).sendto(b"x", "172.16.0.1", 53)
+        sim.run()
+        assert net.packets_dropped == 1
+
+    def test_strict_network_raises_typed_error(self):
+        sim, net, a, _ = make_net(strict_routing=True)
+        socket = a.bind(0)
+        with pytest.raises(NoRouteError):
+            socket.sendto(b"x", "172.16.0.1", 53)
+
+    def test_strict_error_is_a_netsim_error_not_a_keyerror(self):
+        _, net, _, _ = make_net(strict_routing=True)
+        packet = IPv4Packet(
+            src="10.0.0.1", dst="172.16.0.1", protocol=IPProtocol.UDP, payload=b""
+        )
+        try:
+            net.transmit(packet)
+        except NetSimError:
+            pass  # the typed hierarchy, as required
+        except KeyError:  # pragma: no cover - the regression this guards
+            pytest.fail("unknown destination raised KeyError, not NetSimError")
+        else:
+            pytest.fail("strict routing did not raise for an unknown destination")
+
+    def test_strict_batch_raises_too(self):
+        _, net, _, _ = make_net(strict_routing=True)
+        packet = IPv4Packet(
+            src="10.0.0.1", dst="172.16.0.1", protocol=IPProtocol.UDP, payload=b""
+        )
+        with pytest.raises(NoRouteError):
+            net.transmit_batch([packet])
+
+
+class TestPipelineCache:
+    def test_pipeline_for_unknown_destination_raises(self):
+        _, net, _, _ = make_net()
+        with pytest.raises(NoRouteError):
+            net.pipeline_for("10.0.0.1", "172.16.0.1")
+
+    def test_pipeline_cached_and_reused(self):
+        _, net, _, _ = make_net()
+        first = net.pipeline_for("10.0.0.1", "10.0.0.2")
+        assert net.pipeline_for("10.0.0.1", "10.0.0.2") is first
+
+    def test_set_link_invalidates_compiled_pipeline(self):
+        sim, net, a, b = make_net()
+        arrivals = []
+        b.bind(53, lambda payload, ip, port: arrivals.append(sim.now))
+        a.bind(4000).sendto(b"x", "10.0.0.2", 53)
+        sim.run()
+        net.set_link("10.0.0.1", "10.0.0.2", Link(latency=0.5))
+        a.bind(4001).sendto(b"x", "10.0.0.2", 53)
+        sim.run()
+        assert arrivals[0] == pytest.approx(0.01)
+        # Second send left at t=0.01 over the re-compiled 0.5 s link.
+        assert arrivals[1] == pytest.approx(0.51)
+
+    def test_add_host_invalidates_unrouted_entry(self):
+        sim, net, a, _ = make_net()
+        a.bind(4000).sendto(b"x", "10.0.0.3", 53)
+        sim.run()
+        assert net.packets_dropped == 1
+        # Register the host afterwards: the cached drop entry must not stick.
+        c = net.add_host("c", "10.0.0.3")
+        received = []
+        c.bind(53, lambda payload, ip, port: received.append(payload))
+        a.bind(4001).sendto(b"x", "10.0.0.3", 53)
+        sim.run()
+        assert received == [b"x"]
+
+    def test_pipeline_cache_bounded(self):
+        _, net, _, _ = make_net()
+        limit = PIPELINE_CACHE_MAX_ENTRIES
+        # Simulate a spoofing sweep over unique claimed sources.
+        net._pipelines.clear()
+        for index in range(limit + 10):
+            net._compile_pipeline(f"src-{index}", "10.0.0.2")
+        assert len(net._pipelines) <= limit
+
+    def test_unrouted_pipeline_is_shared(self):
+        _, net, _, _ = make_net()
+        net._compile_pipeline("10.0.0.1", "172.16.0.9")
+        assert net._pipelines[("10.0.0.1", "172.16.0.9")] is UNROUTED_PIPELINE
+
+    def test_negative_latency_rejected(self):
+        _, net, _, _ = make_net()
+        from repro.netsim.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            net.set_link("10.0.0.1", "10.0.0.2", Link(latency=-0.1))
+
+
+class TestBatchedDelivery:
+    def _query_packet(self, src, dst, ipid):
+        payload = encode_udp(src, dst, UDPDatagram(4000, 53, b"ping"))
+        return IPv4Packet.udp(src, dst, payload, ipid)
+
+    def test_receive_batch_equals_sequential_receive(self):
+        sim, net, a, b = make_net()
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        packets = [self._query_packet("10.0.0.1", "10.0.0.2", i) for i in range(5)]
+        b.receive_batch(packets)
+        assert received == [b"ping"] * 5
+        assert b.stats.udp_received == 5
+
+    def test_transmit_batch_counts_and_delivers(self):
+        sim, net, a, b = make_net()
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        packets = [self._query_packet("10.0.0.1", "10.0.0.2", i) for i in range(8)]
+        packets.append(self._query_packet("10.0.0.1", "172.16.0.1", 99))  # unrouted
+        net.transmit_batch(packets)
+        sim.run()
+        assert received == [b"ping"] * 8
+        assert net.packets_transmitted == 9
+        assert net.packets_dropped == 1
+
+    def test_inject_batch_marks_spoofed(self):
+        sim, net, a, b = make_net()
+        packets = [self._query_packet("10.0.0.1", "10.0.0.2", i) for i in range(3)]
+        net.inject_batch(packets)
+        assert all(p.metadata["spoofed"] for p in packets)
+
+
+class TestStageAttribution:
+    def test_pipeline_stages_counted_when_enabled(self):
+        STAGES.reset()
+        STAGES.enable()
+        try:
+            sim, net, a, b = make_net()
+            received = []
+            b.bind(53, lambda payload, ip, port: received.append(payload))
+            a.bind(4000).sendto(b"hello", "10.0.0.2", 53)
+            sim.run()
+            snapshot = STAGES.snapshot(wall_time=1.0)
+        finally:
+            STAGES.disable()
+            STAGES.reset()
+        assert received == [b"hello"]
+        stages = snapshot["stages"]
+        for name in ("defrag", "checksum", "demux", "handler"):
+            assert name in stages, stages
+            assert stages[name]["calls"] >= 1
+        shares = snapshot["shares"]
+        assert "dispatch_other" in shares
+        assert all(value >= 0 for value in shares.values())
+
+    def test_stages_not_counted_when_disabled(self):
+        STAGES.reset()
+        sim, net, a, b = make_net()
+        b.bind(53)
+        a.bind(4000).sendto(b"hello", "10.0.0.2", 53)
+        sim.run()
+        times, _calls = STAGES.merged()
+        assert "checksum" not in times
+        STAGES.reset()
+
+    def test_reset_keeps_hosts_built_before_it_attached(self):
+        """STAGES.reset() after topology construction must not orphan the
+        already-compiled datapaths: their stages still reach snapshots."""
+        sim, net, a, b = make_net()
+        b.bind(53, lambda payload, ip, port: None)
+        STAGES.reset()  # after hosts exist — the manual-use flow
+        STAGES.enable()
+        try:
+            a.bind(4000).sendto(b"hello", "10.0.0.2", 53)
+            sim.run()
+            snapshot = STAGES.snapshot(wall_time=1.0)
+        finally:
+            STAGES.disable()
+            STAGES.reset()
+        assert "checksum" in snapshot["stages"], snapshot["stages"]
+
+    def test_mixed_profile_does_not_accumulate_while_disabled(self):
+        STAGES.reset()
+        sim, net, a, b = make_net()
+        profile = LinkProfile("verify-only", verify_checksum=True, defrag_bookkeeping=False)
+        net.set_link("10.0.0.1", "10.0.0.2", Link(latency=0.01, profile=profile))
+        received = []
+        b.bind(53, lambda payload, ip, port: received.append(payload))
+        a.bind(4000).sendto(b"x", "10.0.0.2", 53)
+        sim.run()
+        assert received == [b"x"]
+        times, _ = STAGES.merged()
+        assert "checksum" not in times  # collection was off the whole time
+        STAGES.reset()
+
+    def test_stage_attribution_survives_gc_before_snapshot(self):
+        """Host/datapath pairs are reference cycles; a cyclic-GC pass
+        between simulation teardown and snapshot() must not drop the
+        pipeline stage counters (STAGES pins sources while enabled)."""
+        import gc
+
+        STAGES.reset()
+        STAGES.enable()
+        try:
+            def run_and_discard():
+                sim, net, a, b = make_net()
+                b.bind(53, lambda payload, ip, port: None)
+                a.bind(4000).sendto(b"hello", "10.0.0.2", 53)
+                sim.run()
+
+            run_and_discard()
+            gc.collect()  # the world is garbage now; attribution must not be
+            snapshot = STAGES.snapshot(wall_time=1.0)
+        finally:
+            STAGES.disable()
+            STAGES.reset()
+        assert "checksum" in snapshot["stages"], snapshot["stages"]
+        assert "handler" in snapshot["stages"]
+
+    def test_instrumented_run_matches_uninstrumented_counters(self):
+        def run(enable):
+            STAGES.reset()
+            if enable:
+                STAGES.enable()
+            try:
+                sim, net, a, b = make_net()
+                received = []
+                b.bind(53, lambda payload, ip, port: received.append(payload))
+                for index in range(10):
+                    a.bind(0).sendto(b"x" * index, "10.0.0.2", 53)
+                net.inject(corrupted_packet("10.0.0.1", "10.0.0.2"))
+                sim.run()
+                return received, b.stats.udp_received, b.stats.udp_checksum_failures
+            finally:
+                STAGES.disable()
+                STAGES.reset()
+
+        assert run(False) == run(True)

@@ -1,0 +1,260 @@
+"""Property tests pinning the batched delivery API to the singular one.
+
+``Network.transmit_batch`` must be *event-for-event* equivalent to N
+single ``transmit`` calls under a fixed seed: the same heap entries with
+the same sequence numbers, the same loss draws in the same order, the same
+captures, counters and delivered bytes — including fragmented trains and
+spoofed injections.  The property builds two identically seeded worlds,
+drives one with singular calls and the other with one batch, and compares
+every observable.
+
+A second block pins the spoofed-query crafting fast path (precomputed word
+sums, arithmetic fold) byte-identical to the generic ``encode_udp`` tower
+it replaced.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.capture import PacketCapture
+from repro.netsim.network import Link, Network
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.udp import (
+    UDPDatagram,
+    _address_word_sum,
+    encode_udp,
+    payload_word_sum,
+    udp_checksum,
+    udp_checksum_arith,
+    udp_checksum_from_sums,
+)
+
+HOST_IPS = ("10.0.0.1", "10.0.0.2", "10.0.0.3")
+UNKNOWN_IP = "172.16.0.9"
+
+
+def build_world(loss: float):
+    simulator = Simulator(seed=11)
+    network = Network(simulator, default_latency=0.01)
+    hosts = {}
+    received = []
+    for ip in HOST_IPS:
+        host = network.add_host(f"h-{ip}", ip)
+        host.bind(53, lambda payload, src, port, _ip=ip: received.append((_ip, payload, src, port)))
+        hosts[ip] = host
+    if loss:
+        network.set_link(HOST_IPS[0], HOST_IPS[1], Link(latency=0.01, loss_probability=loss))
+    capture = PacketCapture(name="prop")
+    network.attach_capture(capture)
+    return simulator, network, received, capture
+
+
+#: One generated "send": (src index, dst index-or-unknown, payload length,
+#: corrupt checksum?, fragmented?, spoofed inject?).
+sends = st.tuples(
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=120),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+
+
+def build_packets(plan) -> list[tuple[IPv4Packet, bool]]:
+    """Materialise one (packet, spoofed?) list from a generated plan.
+
+    Fragmented sends become two-fragment trains sharing an IPID, so the
+    defrag path (bucket creation, reassembly, spoofed-fragment counting)
+    is exercised by both delivery shapes.
+    """
+    packets: list[tuple[IPv4Packet, bool]] = []
+    for index, (src_i, dst_i, size, corrupt, fragment, spoof) in enumerate(plan):
+        src = HOST_IPS[src_i]
+        dst = UNKNOWN_IP if dst_i == 3 else HOST_IPS[dst_i]
+        body = bytes((index + offset) & 0xFF for offset in range(size))
+        checksum_src = "9.9.9.9" if corrupt else src
+        payload = encode_udp(checksum_src, dst, UDPDatagram(4000, 53, body))
+        ipid = index & 0xFFFF
+        if fragment and len(payload) >= 16:
+            boundary = (len(payload) // 2) & ~0x7
+            if boundary >= 8:
+                first = IPv4Packet(
+                    src=src,
+                    dst=dst,
+                    protocol=IPProtocol.UDP,
+                    payload=payload[:boundary],
+                    ipid=ipid,
+                    more_fragments=True,
+                )
+                second = IPv4Packet(
+                    src=src,
+                    dst=dst,
+                    protocol=IPProtocol.UDP,
+                    payload=payload[boundary:],
+                    ipid=ipid,
+                    fragment_offset=boundary // 8,
+                )
+                packets.append((first, spoof))
+                packets.append((second, spoof))
+                continue
+        packets.append(
+            (
+                IPv4Packet.udp(src, dst, payload, ipid),
+                spoof,
+            )
+        )
+    return packets
+
+
+def observable_state(simulator, network, received, capture, hosts_of):
+    return {
+        "received": list(received),
+        "now": simulator.now,
+        "sequence": simulator._sequence,
+        "events_processed": simulator.events_processed,
+        "transmitted": network.packets_transmitted,
+        "dropped": network.packets_dropped,
+        "captured": [
+            (c.time, c.packet.src, c.packet.dst, c.packet.payload, c.packet.ipid)
+            for c in capture.packets
+        ],
+        "host_stats": [
+            (
+                host.stats.udp_received,
+                host.stats.udp_checksum_failures,
+                host.defrag.stats.fragments_received,
+                host.defrag.stats.packets_reassembled,
+                host.defrag.stats.spoofed_fragments_used,
+            )
+            for host in hosts_of()
+        ],
+    }
+
+
+class TestTransmitBatchEquivalence:
+    @given(st.lists(sends, min_size=1, max_size=25), st.sampled_from([0.0, 0.35]))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_is_event_for_event_equivalent_to_singles(self, plan, loss):
+        # World A: N singular transmit/inject calls.
+        sim_a, net_a, recv_a, cap_a = build_world(loss)
+        for packet, spoof in build_packets(plan):
+            if spoof:
+                net_a.inject(packet)
+            else:
+                net_a.transmit(packet)
+        sim_a.run()
+        state_a = observable_state(sim_a, net_a, recv_a, cap_a, net_a.hosts)
+
+        # World B: the same burst through the batched entry points, split
+        # into one inject_batch (spoofed) per contiguous run to preserve
+        # ordering exactly as the singular interleaving produced it.
+        sim_b, net_b, recv_b, cap_b = build_world(loss)
+        pending: list[IPv4Packet] = []
+        pending_spoof: bool | None = None
+
+        def flush():
+            nonlocal pending, pending_spoof
+            if not pending:
+                return
+            if pending_spoof:
+                net_b.inject_batch(pending)
+            else:
+                net_b.transmit_batch(pending)
+            pending = []
+            pending_spoof = None
+
+        for packet, spoof in build_packets(plan):
+            if pending_spoof is not None and spoof != pending_spoof:
+                flush()
+            pending.append(packet)
+            pending_spoof = spoof
+        flush()
+        sim_b.run()
+        state_b = observable_state(sim_b, net_b, recv_b, cap_b, net_b.hosts)
+
+        assert state_a == state_b
+
+    @given(st.lists(sends, min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_receive_batch_equivalent_to_sequential_receive(self, plan):
+        sim_a, net_a, recv_a, _ = build_world(0.0)
+        target_a = net_a.host(HOST_IPS[1])
+        sim_b, net_b, recv_b, _ = build_world(0.0)
+        target_b = net_b.host(HOST_IPS[1])
+        packets_a = [p for p, _ in build_packets(plan)]
+        packets_b = [p.copy() for p in packets_a]
+        for packet in packets_a:
+            target_a.receive(packet)
+        target_b.receive_batch(packets_b)
+        assert recv_a == recv_b
+        assert target_a.stats.udp_received == target_b.stats.udp_received
+        assert (
+            target_a.stats.udp_checksum_failures
+            == target_b.stats.udp_checksum_failures
+        )
+
+
+class TestChecksumFastPathsPinned:
+    addresses = st.sampled_from(
+        ["10.0.0.1", "192.0.2.53", "203.0.113.17", "66.6.6.1", "255.255.255.254"]
+    )
+    ports = st.integers(min_value=0, max_value=0xFFFF)
+    payloads = st.binary(min_size=0, max_size=256)
+
+    @given(addresses, addresses, ports, ports, payloads)
+    @settings(max_examples=200)
+    def test_arith_checksum_matches_cached(self, src, dst, sport, dport, payload):
+        datagram = UDPDatagram(sport, dport, payload)
+        assert udp_checksum_arith(src, dst, sport, dport, payload) == udp_checksum(
+            src, dst, datagram
+        )
+
+    @given(addresses, addresses, ports, ports, payloads)
+    @settings(max_examples=200)
+    def test_checksum_from_sums_matches_cached(self, src, dst, sport, dport, payload):
+        expected = udp_checksum(src, dst, UDPDatagram(sport, dport, payload))
+        observed = udp_checksum_from_sums(
+            _address_word_sum(src),
+            _address_word_sum(dst),
+            sport,
+            dport,
+            8 + len(payload),
+            payload_word_sum(payload),
+        )
+        assert observed == expected
+
+    @given(st.floats(min_value=0.0, max_value=4_000_000.0, allow_nan=False))
+    @settings(max_examples=100)
+    def test_spoofed_query_crafting_matches_encode_udp(self, now):
+        """The remover's crafted spoofed query is byte-identical to the
+        generic UDP encode tower it replaced."""
+        from repro.ntp.packet import NTPPacket, NTP_PORT
+
+        victim, server = "192.0.2.101", "203.0.113.7"
+        wire = NTPPacket.client_query_wire(now)
+        reference = encode_udp(
+            victim, server, UDPDatagram(NTP_PORT, NTP_PORT, wire)
+        )
+
+        from repro.core import rate_limit_abuse as rla
+
+        remover = object.__new__(rla.AssociationRemover)
+        remover.victim_ip = victim
+        remover._victim_sum = _address_word_sum(victim)
+        remover._wire_time = None
+        remover._wire = b""
+        remover._wire_sum = 0
+        remover._query_payload(now)
+        campaign = rla.RemovalCampaign(
+            server_ip=server,
+            victim_ip=victim,
+            started_at=0.0,
+            server_sum=_address_word_sum(server),
+        )
+        packet = remover._craft_query(campaign)
+        assert packet.payload == reference
+        assert packet.src == victim and packet.dst == server
