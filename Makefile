@@ -6,11 +6,13 @@
 #   make bench         both of the above, in order — the full pre-merge gate
 #   make bench-refresh re-run benchmarks and rewrite BENCH_netsim.json
 #                      (refuses to overwrite the baseline on regression)
+#   make bench-burst   quick burst-engine microbenchmarks only (delivery
+#                      bursts + bulk rate-limiter accounting, JSON output)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test regression bench bench-refresh
+.PHONY: test regression bench bench-refresh bench-burst
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +24,6 @@ bench: test regression
 
 bench-refresh:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+bench-burst:
+	$(PYTHON) benchmarks/bench_micro_netsim.py

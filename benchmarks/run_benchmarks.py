@@ -34,7 +34,25 @@ from bench_micro_netsim import run_micro_benchmarks  # noqa: E402
 from check_regression import compare  # noqa: E402
 
 
-def run_end_to_end(max_workers: int | None, timing_rounds: int = 3) -> dict:
+def _best_timing_outcome(scenario: str, max_workers: int | None, rounds: int):
+    """Run ``rounds`` uninstrumented timing runs of one fixed-seed cell.
+
+    Returns ``(best_ok_outcome_or_fallback, rounds_run)`` — the shared
+    best-of machinery behind the end-to-end summaries and the late
+    re-sampling pass.
+    """
+    spec = RunSpec.make(scenario, client="ntpd", attack="P1", seed=5)
+    runner = ExperimentRunner(max_workers=max_workers)
+    outcomes = [runner.run([spec])[0] for _ in range(max(1, rounds))]
+    best = min(
+        (outcome for outcome in outcomes if outcome.ok),
+        key=lambda o: o.wall_time,
+        default=outcomes[0],
+    )
+    return best, len(outcomes)
+
+
+def run_end_to_end(max_workers: int | None, timing_rounds: int = 5) -> dict:
     """One fixed-seed Table II cell (ntpd / P1) through the engine.
 
     Two phases, reported in one summary:
@@ -51,23 +69,23 @@ def run_end_to_end(max_workers: int | None, timing_rounds: int = 3) -> dict:
     never changes results, only adds wall time — which is exactly why the
     headline rate is taken from the uninstrumented runs.
     """
-    spec = RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)
-
-    timing_runner = ExperimentRunner(max_workers=max_workers)
-    timing_outcomes = [timing_runner.run([spec])[0] for _ in range(max(1, timing_rounds))]
-    best = min(
-        (o for o in timing_outcomes if o.ok),
-        key=lambda o: o.wall_time,
-        default=timing_outcomes[0],
+    best, rounds_run = _best_timing_outcome(
+        "table2_runtime_attack", max_workers, timing_rounds
     )
 
+    spec = RunSpec.make("table2_runtime_attack", client="ntpd", attack="P1", seed=5)
     stage_runner = ExperimentRunner(max_workers=max_workers, collect_stage_stats=True)
     staged = stage_runner.run([spec])
     summary = timings_summary(staged)
     summary["execution_mode"] = stage_runner.last_execution_mode
-    summary["timing_rounds"] = len(timing_outcomes)
+    summary["timing_rounds"] = rounds_run
     outcome = staged[0]
     if outcome.ok and best.ok:
+        # ``total_wall_time_seconds`` (from timings_summary) is the
+        # *instrumented* attribution run's wall clock; the headline rate
+        # and ``best_timing_wall_seconds`` come from the uninstrumented
+        # timing rounds, so the two wall times intentionally differ.
+        summary["best_timing_wall_seconds"] = round(best.wall_time, 6)
         summary["result"] = {
             "success": best.result["success"],
             "minutes": best.result["minutes"],
@@ -80,6 +98,69 @@ def run_end_to_end(max_workers: int | None, timing_rounds: int = 3) -> dict:
     else:
         summary["error"] = outcome.error or best.error
     return summary
+
+
+def run_trusted_fabric(max_workers: int | None, timing_rounds: int = 5) -> dict:
+    """The lab-internal fabric Table II variant (trusted victim↔upstream links).
+
+    Timing-only (best of ``timing_rounds`` uninstrumented runs, like the
+    default cell's headline number).  ``trusted_speedup`` — the end-to-end
+    wall-clock ratio against the default cell, i.e. what link trust
+    actually buys on a full Table II run (the microbench ratio only covers
+    dispatch) — is attached by :func:`attach_trusted_speedup` after both
+    cells' timings are final.
+    """
+    best, rounds_run = _best_timing_outcome(
+        "table2_trusted_fabric", max_workers, timing_rounds
+    )
+    if not best.ok:
+        return {"error": best.error}
+    return {
+        "timing_rounds": rounds_run,
+        "best_timing_wall_seconds": round(best.wall_time, 6),
+        "result": {
+            "success": best.result["success"],
+            "minutes": best.result["minutes"],
+            "shift": best.result["shift"],
+            "events_processed": best.result["events_processed"],
+            "events_per_wall_second": round(
+                best.result["events_processed"] / best.wall_time
+            ),
+        },
+    }
+
+
+def attach_trusted_speedup(trusted: dict, default_summary: dict) -> None:
+    """Record the trusted cell's end-to-end ratio against the default cell."""
+    default_rate = default_summary.get("result", {}).get("events_per_wall_second")
+    if default_rate and trusted.get("result"):
+        trusted["trusted_speedup"] = round(
+            trusted["result"]["events_per_wall_second"] / default_rate, 3
+        )
+
+
+def refine_timing(
+    summary: dict, scenario: str, max_workers: int | None, rounds: int = 3
+) -> None:
+    """Re-sample a scenario's wall time late in the session, keep the best.
+
+    The end-to-end cells take well under a second per round, so a single
+    host-scheduling stall (routine on 1-vCPU CI boxes) can cover every
+    round of one timing batch and pin the committed rate far below the
+    machine's real capability.  Spreading extra rounds across the session
+    — this runs *after* the minutes-long microbenchmark suite — makes the
+    committed number a best-of over temporally separated windows.
+    """
+    result = summary.get("result")
+    if not result:
+        return
+    best, rounds_run = _best_timing_outcome(scenario, max_workers, rounds)
+    if best.ok:
+        rate = round(best.result["events_processed"] / best.wall_time)
+        if rate > result["events_per_wall_second"]:
+            result["events_per_wall_second"] = rate
+            summary["best_timing_wall_seconds"] = round(best.wall_time, 6)
+    summary["timing_rounds"] = summary.get("timing_rounds", 0) + rounds_run
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,9 +211,30 @@ def main(argv: list[str] | None = None) -> int:
     end_to_end = run_end_to_end(args.workers)
     print(json.dumps(end_to_end, indent=2))
 
+    print("running trusted-fabric variant (lab-internal links)...", flush=True)
+    trusted = run_trusted_fabric(args.workers)
+    print(json.dumps(trusted, indent=2))
+
     print(f"running microbenchmarks (best of {rounds})...", flush=True)
     micro = run_micro_benchmarks(rounds=rounds)
     print(json.dumps(micro, indent=2))
+
+    # Late re-sampling: a second, temporally separated batch of end-to-end
+    # timing rounds, so one host-scheduling stall cannot pin the committed
+    # rates low (see refine_timing).
+    print("re-sampling end-to-end timings...", flush=True)
+    refine_timing(end_to_end, "table2_runtime_attack", args.workers)
+    refine_timing(trusted, "table2_trusted_fabric", args.workers)
+    attach_trusted_speedup(trusted, end_to_end)
+    print(
+        json.dumps(
+            {
+                "table2_ntpd_p1": end_to_end.get("result"),
+                "table2_ntpd_p1_trusted": trusted.get("result"),
+            },
+            indent=2,
+        )
+    )
 
     # Gate BEFORE overwriting: a failing run must leave the committed
     # baseline intact, otherwise an immediate rerun would compare the fresh
@@ -140,7 +242,10 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is not None:
         fresh = {
             "microbenchmarks": micro,
-            "experiments": {"table2_ntpd_p1": end_to_end},
+            "experiments": {
+                "table2_ntpd_p1": end_to_end,
+                "table2_ntpd_p1_trusted": trusted,
+            },
         }
         regressions, _notes = compare(baseline, fresh, threshold=args.check_threshold)
         for regression in regressions:
@@ -157,7 +262,10 @@ def main(argv: list[str] | None = None) -> int:
     document = write_bench_json(
         args.output,
         microbenchmarks=micro,
-        experiments={"table2_ntpd_p1": end_to_end},
+        experiments={
+            "table2_ntpd_p1": end_to_end,
+            "table2_ntpd_p1_trusted": trusted,
+        },
     )
     print(f"wrote {args.output}")
     speedup = document["microbenchmarks"]["event_loop"]["delivery"]["speedup"]

@@ -132,6 +132,18 @@ class Attacker:
         self.stats.packets_injected += len(packets)
         self.network.inject_batch(packets)
 
+    def inject_burst(self, packets: Iterable[IPv4Packet]) -> None:
+        """Put a whole spray on the wire through the burst engine.
+
+        Logically equivalent to :meth:`inject` per packet (order, counters,
+        loss draws, delivered bytes), but the same-instant spray costs one
+        heap entry and its UDP checksums verify in one vectorised pass —
+        see :meth:`repro.netsim.network.Network.transmit_burst`.
+        """
+        packets = list(packets)
+        self.stats.packets_injected += len(packets)
+        self.network.inject_burst(packets)
+
     def owns(self, address: str) -> bool:
         """True when ``address`` is attacker controlled."""
         return address in self.controlled_addresses

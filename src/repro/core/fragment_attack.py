@@ -276,9 +276,10 @@ class DNSFragmentPoisoner:
         if crafted is not None and self.prediction is not None:
             payload, offset_units = crafted
             # The whole spray — one spoofed fragment per candidate IPID —
-            # goes to the simulator as a single batched burst; the batch
-            # path posts the same per-packet delivery events the old
-            # per-fragment inject loop did.
+            # goes to the simulator as one coalesced burst entry (fragments
+            # take the per-packet reassembly path inside the drain; only
+            # the heap traffic is batched).  Logically event-for-event
+            # equivalent to the old per-fragment inject loop.
             burst = [
                 IPv4Packet(
                     src=self.plan.nameserver_ip,
@@ -295,7 +296,7 @@ class DNSFragmentPoisoner:
             ]
             self.attacker.stats.spoofed_fragments_sent += len(burst)
             self.fragments_sent += len(burst)
-            self.attacker.inject_batch(burst)
+            self.attacker.inject_burst(burst)
         self.refreshes += 1
         self._refresh_event = self.simulator.schedule(
             self.plan.refresh_interval, self._plant_round, label="poisoner-refresh"

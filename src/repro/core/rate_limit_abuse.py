@@ -21,31 +21,34 @@ simulated time), and the per-server checksum is assembled arithmetically
 from cached address word sums.  The crafted bytes are pinned
 byte-identical to ``encode_udp`` by property tests.
 
-Two scheduling shapes are supported:
+Two scheduling shapes are supported, both riding the burst engine:
 
-* **per-campaign** (default): each campaign reschedules its own
-  fire-and-forget event, exactly like the original implementation — the
-  golden fixed-seed runs use this shape, so event counts stay pinned.
-* **batched rounds** (``batched=True``): one event per round hands the
-  whole burst (one spoofed query per active campaign) to
-  :meth:`~repro.netsim.network.Network.transmit_batch`.  For campaigns
-  started together (the scenario-P1 shape, ``target_many`` at one
-  instant) server-side outcomes match per-campaign scheduling exactly;
-  a campaign started *mid-interval* is folded onto the shared round
-  grid, so its first gap is shorter than ``query_interval`` — faster
-  than per-campaign mode, never slower, but not query-for-query
-  identical.  The event-loop shape also differs (one event per round
-  instead of one per campaign), which is why batching is opt-in.
+* **per-campaign cohorts** (default): campaigns started by one
+  ``target()`` / ``target_many()`` call form a *cohort* that keeps its own
+  cadence — every ``query_interval`` the whole cohort fires as one burst
+  heap entry (:meth:`repro.netsim.simulator.Simulator.post_burst_entry`)
+  whose flat loop crafts one spoofed query per active member and hands
+  the spray to :meth:`~repro.netsim.network.Network.transmit_burst`.
+  This is *event-for-event equivalent* to the original per-campaign
+  self-rescheduling loop — the cohort entry consumes one sequence number
+  and counts one processed event per member, members fire in start
+  order, and cohorts started at different instants never merge — so the
+  golden fixed-seed results (event counts included) stay bit-identical
+  while a 46-server round costs two heap entries instead of 92.
+* **batched rounds** (``batched=True``): one shared round grid for all
+  campaigns; a campaign started *mid-interval* is folded onto the grid,
+  so its first gap is shorter than ``query_interval`` — faster than
+  per-campaign mode, never slower, but not query-for-query identical,
+  which is why batching stays opt-in.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from heapq import heappush
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.attacker import Attacker
-from repro.netsim.packet import IPv4Packet
+from repro.netsim.packet import IPProtocol, IPv4Packet
 from repro.netsim.simulator import Simulator
 from repro.netsim.udp import (
     UDP_HEADER_LEN,
@@ -58,6 +61,7 @@ from repro.ntp.packet import NTPPacket, NTP_PORT
 #: UDP length field of a spoofed mode 3 query (8-byte header + 48-byte NTP).
 _QUERY_UDP_LENGTH = UDP_HEADER_LEN + 48
 _PACK_UDP_HEADER = _UDP_HEADER.pack
+_UDP_PROTOCOL = IPProtocol.UDP
 
 
 @dataclass(slots=True)
@@ -69,9 +73,22 @@ class RemovalCampaign:
     started_at: float
     queries_sent: int = 0
     active: bool = True
-    #: Cached checksum word sum of ``server_ip`` (filled in by the remover
-    #: so the per-query path skips even the memoised address lookup).
-    server_sum: int = 0
+    #: The constant part of the crafted query's checksum word sum — victim
+    #: and server address sums, protocol word, UDP length (twice) and both
+    #: ports.  Derived from the addresses at construction; only the
+    #: per-burst payload sum is added per crafted query.
+    base_sum: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.base_sum = (
+            _address_word_sum(self.victim_ip)
+            + _address_word_sum(self.server_ip)
+            + 17
+            + _QUERY_UDP_LENGTH
+            + _QUERY_UDP_LENGTH
+            + NTP_PORT
+            + NTP_PORT
+        )
 
 
 @dataclass(slots=True)
@@ -81,6 +98,28 @@ class RemoverStats:
     campaigns_started: int = 0
     campaigns_stopped: int = 0
     spoofed_queries_sent: int = 0
+
+
+class _CohortRound:
+    """One scheduled round of a campaign cohort (a simulator burst entry).
+
+    ``count`` equals the cohort size at scheduling time, so the entry
+    consumes one sequence number and counts one processed event per member
+    — exactly what the old one-event-per-campaign rescheduling produced.
+    Members that went inactive since the round was scheduled still count
+    (their singular event would have fired as a no-op) but are dropped
+    from the next round, again matching the singular shape.
+    """
+
+    __slots__ = ("remover", "campaigns", "count")
+
+    def __init__(self, remover: "AssociationRemover", campaigns: list) -> None:
+        self.remover = remover
+        self.campaigns = campaigns
+        self.count = len(campaigns)
+
+    def run(self) -> None:
+        self.remover._fire_cohort(self.campaigns)
 
 
 class AssociationRemover:
@@ -130,7 +169,6 @@ class AssociationRemover:
         self._wire_time: Optional[float] = None
         self._wire: bytes = b""
         self._wire_sum = 0
-        self._victim_sum = _address_word_sum(victim_ip)
         self._round_scheduled = False
 
     # -------------------------------------------------------------- control
@@ -138,26 +176,52 @@ class AssociationRemover:
         """Start (or return the existing) campaign against one server."""
         if server_ip in self.campaigns and self.campaigns[server_ip].active:
             return self.campaigns[server_ip]
-        campaign = RemovalCampaign(
-            server_ip=server_ip,
-            victim_ip=self.victim_ip,
-            started_at=self.simulator.now,
-            server_sum=_address_word_sum(server_ip),
-        )
-        self.campaigns[server_ip] = campaign
-        self.stats.campaigns_started += 1
+        campaign = self._new_campaign(server_ip)
         if self.batched:
             self._send_round_for([campaign])
             if not self._round_scheduled:
                 self._round_scheduled = True
                 self.simulator.post(self.query_interval, self._send_round)
         else:
-            self._send_spoofed_query(campaign)
+            cohort = [campaign]
+            self._send_cohort(cohort)
+            self._schedule_cohort(cohort)
         return campaign
 
     def target_many(self, server_ips: list[str]) -> list[RemovalCampaign]:
-        """Start campaigns against a whole list of servers (scenario P1)."""
-        return [self.target(ip) for ip in server_ips]
+        """Start campaigns against a whole list of servers (scenario P1).
+
+        Campaigns started here form one *cohort*: every round is a single
+        burst heap entry and one batched spray instead of one event and
+        one transmit per server (see the module docstring for the
+        equivalence argument).
+        """
+        if self.batched:
+            return [self.target(ip) for ip in server_ips]
+        campaigns: list[RemovalCampaign] = []
+        cohort: list[RemovalCampaign] = []
+        for server_ip in server_ips:
+            existing = self.campaigns.get(server_ip)
+            if existing is not None and existing.active:
+                campaigns.append(existing)
+                continue
+            campaign = self._new_campaign(server_ip)
+            campaigns.append(campaign)
+            cohort.append(campaign)
+        if cohort:
+            self._send_cohort(cohort)
+            self._schedule_cohort(cohort)
+        return campaigns
+
+    def _new_campaign(self, server_ip: str) -> RemovalCampaign:
+        campaign = RemovalCampaign(
+            server_ip=server_ip,
+            victim_ip=self.victim_ip,
+            started_at=self.simulator.now,
+        )
+        self.campaigns[server_ip] = campaign
+        self.stats.campaigns_started += 1
+        return campaign
 
     def stop(self, server_ip: Optional[str] = None) -> None:
         """Stop one campaign, or all campaigns."""
@@ -184,7 +248,8 @@ class AssociationRemover:
         """One spoofed query packet, byte-identical to the encode_udp path.
 
         The checksum is assembled from the per-burst payload sum and the
-        campaign's cached address sum; the fold deliberately inlines
+        campaign's precomputed constant word sum (``base_sum``); the fold
+        deliberately inlines
         :func:`repro.netsim.udp.udp_checksum_from_sums` (the call frame is
         measurable over tens of thousands of queries).  Drift between this
         copy and the helper is caught by
@@ -192,16 +257,7 @@ class AssociationRemover:
         which pins this method's output byte-identical to the generic
         ``encode_udp`` tower.
         """
-        folded = (
-            self._victim_sum
-            + campaign.server_sum
-            + 17
-            + _QUERY_UDP_LENGTH
-            + _QUERY_UDP_LENGTH
-            + NTP_PORT
-            + NTP_PORT
-            + self._wire_sum
-        ) % 0xFFFF
+        folded = (campaign.base_sum + self._wire_sum) % 0xFFFF
         checksum = ~(folded if folded else 0xFFFF) & 0xFFFF
         payload = (
             _PACK_UDP_HEADER(
@@ -213,34 +269,93 @@ class AssociationRemover:
             self.victim_ip, campaign.server_ip, payload, campaign.queries_sent & 0xFFFF
         )
 
-    def _send_spoofed_query(self, campaign: RemovalCampaign) -> None:
-        if not campaign.active:
+    def _fire_cohort(self, campaigns: list) -> None:
+        """One cohort round: spray the still-active members, reschedule them.
+
+        The burst-entry callback for default-mode cohorts.  Inactive
+        members are dropped here — their singular events would have fired
+        as no-ops and not rescheduled, and the cohort entry already
+        counted them — so a cohort shrinks exactly as the per-campaign
+        chains would have.
+        """
+        active = [campaign for campaign in campaigns if campaign.active]
+        if not active:
             return
-        simulator = self.simulator
-        now = simulator._now  # slot read; this loop fires tens of thousands of times
+        self._send_cohort(active)
+        self._schedule_cohort(active)
+
+    def _schedule_cohort(self, campaigns: list) -> None:
+        """Queue the cohort's next round as one fire-and-forget heap entry."""
+        if len(campaigns) == 1:
+            # A one-member cohort degrades to the anonymous post the old
+            # per-campaign loop pushed: same entry count, cheaper dispatch.
+            self.simulator.post(self.query_interval, self._fire_cohort, campaigns)
+        else:
+            self.simulator.post_burst_entry(
+                self.query_interval, _CohortRound(self, campaigns)
+            )
+
+    def _send_cohort(self, campaigns: list) -> None:
+        """Craft and inject one spoofed query per campaign as one spray.
+
+        The flat loop the burst engine buys: the wire memo is refreshed
+        once, the counters bumped once, and the whole spray goes through
+        :meth:`~repro.netsim.network.Network.transmit_burst` — one heap
+        entry, one vectorised checksum verify on delivery.  Craft order is
+        campaign order, so delivery order, loss draws and IPID usage match
+        the old query-at-a-time loop exactly.
+        """
+        now = self.simulator._now  # slot read; fires tens of thousands of times
         if now != self._wire_time:
             self._query_payload(now)
-        packet = self._craft_query(campaign)
-        campaign.queries_sent += 1
-        self.stats.spoofed_queries_sent += 1
+        # Inlined _craft_query (which stays the reference implementation,
+        # pinned byte-identical to encode_udp by the crafting property
+        # test; a drifting copy here fails the golden determinism test the
+        # moment a checksum stops verifying): one method frame per query is
+        # measurable over tens of thousands of crafts.
+        wire = self._wire
+        wire_sum = self._wire_sum
+        victim_ip = self.victim_ip
+        pack = _PACK_UDP_HEADER
+        new_packet = IPv4Packet.__new__
+        packet_cls = IPv4Packet
+        packets = []
+        append = packets.append
+        for campaign in campaigns:
+            folded = (campaign.base_sum + wire_sum) % 0xFFFF
+            checksum = ~(folded if folded else 0xFFFF) & 0xFFFF
+            payload = (
+                pack(
+                    NTP_PORT,
+                    NTP_PORT,
+                    _QUERY_UDP_LENGTH,
+                    checksum if checksum else 0xFFFF,
+                )
+                + wire
+            )
+            # Inlined IPv4Packet.udp (slot-for-slot): even the fast
+            # constructor's call frame shows up over a whole campaign.
+            packet = new_packet(packet_cls)
+            packet.src = victim_ip
+            packet.dst = campaign.server_ip
+            packet.protocol = _UDP_PROTOCOL
+            packet.payload = payload
+            packet.ipid = campaign.queries_sent & 0xFFFF
+            packet.ttl = 64
+            packet.dont_fragment = False
+            packet.more_fragments = False
+            packet.fragment_offset = 0
+            # The spoofed tag rides the fresh metadata dict directly,
+            # replacing Network.inject's setdefault.
+            packet.metadata = {"spoofed": True}
+            campaign.queries_sent += 1
+            append(packet)
+        count = len(packets)
+        self.stats.spoofed_queries_sent += count
         stats = self._attacker_stats
-        stats.spoofed_ntp_queries_sent += 1
-        # Inlined Attacker.inject/Network.inject: the spoofed tag is set on
-        # a metadata dict this loop just created, so setdefault is a plain
-        # store, and the packet goes straight to transmit.
-        stats.packets_injected += 1
-        packet.metadata["spoofed"] = True
-        self._network.transmit(packet)
-        # Fire-and-forget rescheduling, an inlined Simulator.post: this loop
-        # sends tens of thousands of queries per campaign and never cancels
-        # one, so it pushes the anonymous heap entry directly — no closure,
-        # no label, no call frame.
-        sequence = simulator._sequence
-        simulator._sequence = sequence + 1
-        heappush(
-            simulator._queue,
-            (now + self.query_interval, sequence, self._send_spoofed_query, campaign),
-        )
+        stats.spoofed_ntp_queries_sent += count
+        stats.packets_injected += count
+        self._network.transmit_burst(packets)
 
     # ------------------------------------------------------- batched rounds
     def _send_round(self) -> None:
@@ -263,4 +378,4 @@ class AssociationRemover:
         count = len(packets)
         self.stats.spoofed_queries_sent += count
         self.attacker.stats.spoofed_ntp_queries_sent += count
-        self.attacker.inject_batch(packets)
+        self.attacker.inject_burst(packets)

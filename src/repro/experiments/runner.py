@@ -25,7 +25,13 @@ from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.measurement.report import format_table
-from repro.perf import PIPELINE_STAGES, STAGE_STATS_ENV, STAGES, stage_shares
+from repro.perf import (
+    DISPATCH_STAGES,
+    PIPELINE_STAGES,
+    STAGE_STATS_ENV,
+    STAGES,
+    stage_shares,
+)
 
 #: Default file the benchmark harness persists timings to (repo root).
 BENCH_JSON_FILENAME = "BENCH_netsim.json"
@@ -292,7 +298,9 @@ def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
                 merged["seconds"] = round(merged["seconds"] + stats["seconds"], 6)
                 merged["calls"] += stats["calls"]
         pipeline = {
-            name: stages[name]["seconds"] for name in PIPELINE_STAGES if name in stages
+            name: stages[name]["seconds"]
+            for name in PIPELINE_STAGES + DISPATCH_STAGES
+            if name in stages
         }
         summary["stage_time_shares"] = {
             "stages": stages,

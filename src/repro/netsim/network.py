@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from heapq import heappush
 from typing import Iterable, Optional
 
+from repro.netsim.burst import DeliveryBurst, MAX_DELIVERY_BURST
 from repro.netsim.capture import PacketCapture
 from repro.netsim.datapath import (
     DEFAULT_LINK_PROFILE,
@@ -34,11 +35,12 @@ from repro.netsim.datapath import (
     UNROUTED_PIPELINE,
     compile_deliver,
 )
-from repro.netsim.errors import NoRouteError, SimulationError
+from repro.netsim.errors import AddressError, NoRouteError, SimulationError
 from repro.netsim.host import Host, OSProfile
 from repro.netsim.ipid import IPIDAllocator
 from repro.netsim.packet import IPv4Packet
-from repro.netsim.simulator import Simulator
+from repro.netsim.simulator import Simulator, _BURST
+from repro.netsim.udp import _address_word_sum
 
 
 @dataclass(frozen=True)
@@ -199,10 +201,33 @@ class Network:
             if link.latency < 0:
                 raise SimulationError(f"negative link latency: {link.latency}")
             profile = link.profile or DEFAULT_LINK_PROFILE
+            # Would this pair's scalar path verify checksums at all?  Only
+            # then does the burst engine need a pseudo-header sum — and
+            # ``src`` is whatever the sender claims, so a syntactically
+            # invalid spoofed source cannot bake one; such pairs keep the
+            # scalar verify path (which reports the same failure it always
+            # did, at delivery time rather than here).
+            vector_verify = profile.verify_checksum and host.datapath.verify_checksum
+            burst_parse = True
+            addr_sum = 0
+            if vector_verify:
+                try:
+                    addr_sum = _address_word_sum(src) + _address_word_sum(dst)
+                except AddressError:
+                    # The scalar path raises on this source at delivery
+                    # time (when a checksummed packet arrives); keep the
+                    # pair off the pre-parsed path so it still does.
+                    vector_verify = False
+                    burst_parse = False
             pipeline = DeliveryPipeline(
                 link.latency,
                 link.loss_probability,
                 compile_deliver(host.datapath, profile),
+                datapath=host.datapath,
+                burst_parse=burst_parse,
+                vector_verify=vector_verify,
+                burst_bookkeeping=profile.defrag_bookkeeping,
+                addr_sum=addr_sum,
             )
         if len(self._pipelines) >= PIPELINE_CACHE_MAX_ENTRIES:
             self._pipelines.clear()
@@ -299,6 +324,108 @@ class Network:
             sequence = simulator._sequence
             simulator._sequence = sequence + 1
             heappush(queue, (now + pipeline.latency, sequence, deliver, packet))
+
+    def transmit_burst(self, packets: Iterable[IPv4Packet]) -> None:
+        """Deliver a burst through the coalesced burst engine.
+
+        *Logically* event-for-event equivalent to calling :meth:`transmit`
+        once per packet in order (pinned by a property test): the same
+        sequence-number allocation, the same execution order, the same
+        loss draws, capture observations, counters and delivered bytes.
+        The heap-entry *shape* differs — consecutive packets delivered at
+        the same instant are pushed as one
+        :class:`~repro.netsim.burst.DeliveryBurst` entry (capped at
+        :data:`~repro.netsim.burst.MAX_DELIVERY_BURST` packets), whose
+        drain verifies UDP checksums in a single vectorised pass — which
+        is what makes an injected spray cost one heap push instead of N.
+        Callers that need the per-packet entry shape (anything that mixes
+        bounded ``run(max_events=...)`` stepping with exact event counts)
+        keep using :meth:`transmit_batch`.
+        """
+        pipelines_get = self._pipelines.get
+        compile_pipeline = self._compile_pipeline
+        captures = self._captures
+        rng_random = self._rng.random
+        strict = self.strict_routing
+        simulator = self.simulator
+        now = simulator._now  # constant: no event runs mid-burst
+        group: list = []
+        group_time = 0.0
+        flush = self._flush_burst_group
+        # Counters accumulate locally and reconcile once (and before the
+        # strict-routing raise), keeping the per-packet loop free of
+        # attribute read-modify-writes.
+        transmitted = 0
+        dropped = 0
+        try:
+            for packet in packets:
+                transmitted += 1
+                pipeline = pipelines_get((packet.src, packet.dst))
+                if pipeline is None:
+                    pipeline = compile_pipeline(packet.src, packet.dst)
+                if pipeline.deliver is None:
+                    if strict:
+                        # Keep exception semantics aligned with singular
+                        # calls: everything before the unroutable packet is
+                        # already on the wire.
+                        if group:
+                            flush(group, group_time)
+                            group = []
+                        raise NoRouteError(f"no host at {packet.dst}")
+                    dropped += 1
+                    continue
+                if pipeline.loss_probability > 0 and rng_random() < pipeline.loss_probability:
+                    dropped += 1
+                    continue
+                if captures:
+                    for capture in captures:
+                        capture.observe(packet, now)
+                deliver_at = now + pipeline.latency
+                if group:
+                    if deliver_at == group_time and len(group) < MAX_DELIVERY_BURST:
+                        group.append((pipeline, packet))
+                        continue
+                    flush(group, group_time)
+                group = [(pipeline, packet)]
+                group_time = deliver_at
+            if group:
+                flush(group, group_time)
+        finally:
+            self.packets_transmitted += transmitted
+            self.packets_dropped += dropped
+
+    def _flush_burst_group(self, group: list, deliver_at: float) -> None:
+        """Push one same-instant delivery group as a single heap entry.
+
+        A single-packet group degrades to the exact anonymous entry
+        :meth:`transmit` would have pushed; larger groups become one
+        :class:`~repro.netsim.burst.DeliveryBurst` entry consuming one
+        sequence number per packet (friend access to the simulator's heap,
+        mirroring the inlined post of the singular path).
+        """
+        simulator = self.simulator
+        sequence = simulator._sequence
+        count = len(group)
+        if count == 1:
+            pipeline, packet = group[0]
+            simulator._sequence = sequence + 1
+            heappush(
+                simulator._queue, (deliver_at, sequence, pipeline.deliver, packet)
+            )
+            return
+        simulator._sequence = sequence + count
+        simulator.bursts_posted += 1
+        heappush(simulator._queue, (deliver_at, sequence, DeliveryBurst(group), _BURST))
+
+    def inject_burst(
+        self, packets: Iterable[IPv4Packet], mark_spoofed: bool = True
+    ) -> None:
+        """Off-path injection through the burst engine (see :meth:`transmit_burst`)."""
+        packets = list(packets)
+        if mark_spoofed:
+            for packet in packets:
+                packet.metadata.setdefault("spoofed", True)
+        self.transmit_burst(packets)
 
     def inject(self, packet: IPv4Packet, mark_spoofed: bool = True) -> None:
         """Off-path injection of a (typically source-spoofed) packet.

@@ -18,6 +18,16 @@ coexist:
   (``arg`` is the ``_NO_ARG`` sentinel when there is none).  These skip the
   ``Event`` allocation entirely and exist for the per-packet delivery path,
   which schedules millions of events per experiment and never cancels one.
+* ``(time, sequence, burst, _BURST)`` — *burst* entries created by
+  :meth:`Simulator.post_burst` (or pushed directly by the network's
+  batched transmit path).  One heap entry stands for ``burst.count``
+  logical events firing at the same instant: the entry consumes ``count``
+  contiguous sequence numbers at creation and counts ``count`` towards
+  ``events_processed`` when drained, so an injected burst of N packets
+  costs one heap push and one pop instead of N — while remaining
+  event-for-event equivalent (ordering, counters, :meth:`pending`) to N
+  singular posts.  Bursts are atomic: ``run(max_events=...)`` never splits
+  one, and :meth:`step` executes a whole burst as one step.
 
 The fourth element doubles as the discriminator (identity-compared
 sentinels), so the dispatch loop needs pointer comparisons, not isinstance
@@ -25,9 +35,19 @@ checks, and posted callbacks are invoked with a fixed-arity call instead of
 argument-tuple unpacking.  Sequence numbers are unique, so tuple comparison
 never reaches the third element.  The monotonically increasing sequence
 number makes ordering of same-time events deterministic (first scheduled,
-first executed).  All randomness in the simulation flows through
+first executed); a burst orders by its *first* sequence number, which is
+exactly where its N singular events would have sorted, because the block
+is allocated atomically.  All randomness in the simulation flows through
 the simulator's seeded ``numpy.random.Generator`` so runs are reproducible
 bit-for-bit.
+
+The bounded loops additionally drain contiguous *equal-timestamp* runs
+through a coalesced inner loop: once the head event at time ``t`` passed
+the ``until`` bound, every further entry at exactly ``t`` is popped and
+dispatched without re-checking the bound or re-writing the clock.
+Cancelled events popped inside a coalesced run are skipped without
+touching ``events_processed`` (their cancellation was already counted by
+:meth:`Event.cancel`), so :meth:`Simulator.pending` stays exact.
 
 Cancellation bookkeeping: cancelled events stay in the heap (removing an
 arbitrary heap entry is O(n)) and are skipped when popped, but
@@ -45,11 +65,45 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.netsim.errors import SimulationError
+from repro.perf import STAGES, perf_counter
 
 #: Heap-entry discriminator: fourth tuple element of cancellable entries.
 _EVENT = object()
 #: Sentinel for "posted callback takes no argument".
 _NO_ARG = object()
+#: Heap-entry discriminator for burst entries (see module docstring).  The
+#: network's batched transmit path pushes these directly (friend access,
+#: mirroring its inlined ``post``), so the sentinel is shared, not private
+#: to the loop.
+_BURST = object()
+
+
+class CallbackBurst:
+    """N same-instant calls of one callback, packed into one heap entry.
+
+    The generic burst shape behind :meth:`Simulator.post_burst`: ``run``
+    invokes ``callback(arg)`` for every argument in order.  ``count`` is
+    the number of logical events the entry stands for — the drain adds it
+    to ``events_processed`` and :meth:`Simulator.post_burst` consumed that
+    many sequence numbers, which keeps :meth:`Simulator.pending` exact.
+
+    Specialised bursts (the network's vectorised
+    :class:`~repro.netsim.burst.DeliveryBurst`, the association remover's
+    cohort rounds) implement the same two-member protocol — ``count`` plus
+    ``run()`` — with a flat loop body of their own.
+    """
+
+    __slots__ = ("callback", "args", "count")
+
+    def __init__(self, callback: Callable[..., None], args) -> None:
+        self.callback = callback
+        self.args = args
+        self.count = len(args)
+
+    def run(self) -> None:
+        callback = self.callback
+        for arg in self.args:
+            callback(arg)
 
 
 class Event:
@@ -125,6 +179,7 @@ class Simulator:
         "_seed",
         "_spawned",
         "events_processed",
+        "bursts_posted",
     )
 
     def __init__(self, seed: int = 0) -> None:
@@ -139,6 +194,11 @@ class Simulator:
         self._seed = seed
         self._spawned = 0
         self.events_processed = 0
+        #: Burst heap entries created so far (post_burst / post_burst_entry
+        #: / the network's batched transmit).  ``events_processed`` already
+        #: counts burst members individually; this counter exposes how much
+        #: coalescing the run actually achieved.
+        self.bursts_posted = 0
 
     @property
     def now(self) -> float:
@@ -225,6 +285,53 @@ class Simulator:
         self._sequence = sequence + 1
         heappush(self._queue, (self._now + delay, sequence, callback, arg))
 
+    def post_burst(self, delay: float, callback: Callable[..., None], args) -> None:
+        """Schedule ``callback(arg)`` for every ``arg`` at one future instant.
+
+        Event-for-event equivalent to ``post(delay, callback, arg)`` per
+        argument — same contiguous sequence-number block, same execution
+        order, same ``events_processed`` / :meth:`pending` accounting — but
+        the whole burst costs one heap push and one pop.  Like :meth:`post`,
+        burst members cannot be cancelled or labelled.  An empty ``args``
+        schedules nothing; a single argument degrades to :meth:`post`
+        (identical entry, cheaper dispatch).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        count = len(args)
+        if count == 0:
+            return
+        sequence = self._sequence
+        if count == 1:
+            self._sequence = sequence + 1
+            heappush(self._queue, (self._now + delay, sequence, callback, args[0]))
+            return
+        self._sequence = sequence + count
+        self.bursts_posted += 1
+        heappush(
+            self._queue,
+            (self._now + delay, sequence, CallbackBurst(callback, args), _BURST),
+        )
+
+    def post_burst_entry(self, delay: float, burst) -> None:
+        """Schedule a pre-built burst object (``count`` + ``run()`` protocol).
+
+        The entry consumes ``burst.count`` sequence numbers and counts that
+        many events when drained; ``burst.run()`` must therefore perform
+        exactly ``count`` logical events' worth of work.  Used by callers
+        that want a flat loop body instead of per-member callbacks (the
+        network's delivery bursts, the association remover's rounds).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        count = burst.count
+        if count <= 0:
+            return
+        sequence = self._sequence
+        self._sequence = sequence + count
+        self.bursts_posted += 1
+        heappush(self._queue, (self._now + delay, sequence, burst, _BURST))
+
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued.
 
@@ -242,7 +349,10 @@ class Simulator:
 
         Anonymous events posted via :meth:`post` are returned as a freshly
         materialised (already-executed) :class:`Event` so callers can still
-        inspect time and callback.
+        inspect time and callback.  Burst entries are atomic: the whole
+        burst executes as one step (counting ``burst.count`` events) and is
+        returned as a single materialised Event whose callback is the
+        burst's ``run``.
         """
         queue = self._queue
         while queue:
@@ -260,6 +370,10 @@ class Simulator:
                 self.events_processed += 1
                 return event
             self._now = time_
+            if arg is _BURST:
+                target.run()
+                self.events_processed += target.count
+                return Event(time_, sequence, target.run, ())
             if arg is _NO_ARG:
                 target()
                 call_args: tuple = ()
@@ -281,8 +395,13 @@ class Simulator:
         max_events:
             Safety valve for tests: stop after this many events.
 
-        Returns the number of events processed by this call.
+        Returns the number of events processed by this call (burst entries
+        count each of their members).
         """
+        if STAGES.enabled:
+            # Attribution runs route through the instrumented twin; the hot
+            # loops below stay free of timing code.
+            return self._run_timed(until, max_events)
         queue = self._queue
         processed = 0
         if until is None and max_events is None:
@@ -308,9 +427,13 @@ class Simulator:
                     self._now = time_
                     if arg is _NO_ARG:
                         target()
+                        processed += 1
+                    elif arg is _BURST:
+                        target.run()
+                        processed += target.count
                     else:
                         target(arg)
-                    processed += 1
+                        processed += 1
             finally:
                 self.events_processed += processed
             return processed
@@ -320,7 +443,13 @@ class Simulator:
         # ``run_for`` during warmup and attacks — do not materialise an
         # Event object per anonymous entry just to drop it.  The until-only
         # shape (what run_for uses, hundreds of thousands of events per
-        # experiment) gets its own loop without the max_events check.
+        # experiment) gets its own loop without the max_events check, and
+        # drains contiguous equal-timestamp runs through a coalesced inner
+        # loop: entries at the head's exact time already passed the bound,
+        # so only the first event of each instant pays the head peek and
+        # until comparison.  Cancelled events popped inside the coalesced
+        # run are skipped without counting (their cancellation is already
+        # in ``_cancelled``), keeping pending() exact.
         try:
             if max_events is None:
                 while queue:
@@ -334,18 +463,31 @@ class Simulator:
                         break
                     time_, _sequence, target, arg = heappop(queue)
                     self._now = time_
-                    if arg is _EVENT:
-                        target._sim = None  # executed: late cancel() is a no-op
-                        if target.args:
-                            target.callback(*target.args)
+                    while True:
+                        if arg is _EVENT:
+                            if not target.cancelled:
+                                target._sim = None  # late cancel() is a no-op
+                                if target.args:
+                                    target.callback(*target.args)
+                                else:
+                                    target.callback()
+                                processed += 1
+                        elif arg is _NO_ARG:
+                            target()
+                            processed += 1
+                        elif arg is _BURST:
+                            target.run()
+                            processed += target.count
                         else:
-                            target.callback()
-                    elif arg is _NO_ARG:
-                        target()
-                    else:
-                        target(arg)
-                    processed += 1
+                            target(arg)
+                            processed += 1
+                        if not queue or queue[0][0] != time_:
+                            break
+                        _time, _sequence, target, arg = heappop(queue)
             else:
+                # Bursts are atomic: a burst entry never splits across the
+                # max_events bound, so ``processed`` may overshoot it by the
+                # tail of the last burst.
                 while queue:
                     if processed >= max_events:
                         break
@@ -364,13 +506,75 @@ class Simulator:
                             target.callback(*target.args)
                         else:
                             target.callback()
+                        processed += 1
                     elif arg is _NO_ARG:
                         target()
+                        processed += 1
+                    elif arg is _BURST:
+                        target.run()
+                        processed += target.count
                     else:
                         target(arg)
+                        processed += 1
+        finally:
+            self.events_processed += processed
+        if until is not None and not queue:
+            self._now = max(self._now, until)
+        return processed
+
+    def _run_timed(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> int:
+        """The stage-attributing twin of :meth:`run`.
+
+        Only runs while ``repro.perf.STAGES`` collection is enabled.  Times
+        every heap pop into the ``heap`` stage (a lower bound on event-loop
+        heap work: pushes happen inside callbacks and are not attributed).
+        Dispatch semantics are identical to the uninstrumented loops —
+        timing never feeds the simulation — so instrumented runs stay
+        bit-identical.
+        """
+        queue = self._queue
+        processed = 0
+        pops = 0
+        t_heap = 0.0
+        try:
+            while queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = queue[0]
+                if head[3] is _EVENT and head[2].cancelled:
+                    heappop(queue)
+                    continue
+                if until is not None and head[0] > until:
+                    if until > self._now:
+                        self._now = until
+                    break
+                t0 = perf_counter()
+                time_, _sequence, target, arg = heappop(queue)
+                t_heap += perf_counter() - t0
+                pops += 1
+                self._now = time_
+                if arg is _EVENT:
+                    target._sim = None  # executed: late cancel() is a no-op
+                    if target.args:
+                        target.callback(*target.args)
+                    else:
+                        target.callback()
+                    processed += 1
+                elif arg is _NO_ARG:
+                    target()
+                    processed += 1
+                elif arg is _BURST:
+                    target.run()
+                    processed += target.count
+                else:
+                    target(arg)
                     processed += 1
         finally:
             self.events_processed += processed
+            if pops:
+                STAGES.add_many("heap", t_heap, pops)
         if until is not None and not queue:
             self._now = max(self._now, until)
         return processed

@@ -28,6 +28,11 @@ from repro.ntp.clock import SystemClock
 from repro.ntp.packet import KissCode, NTPPacket, NTP_PACKET_LEN, NTP_PORT
 from repro.ntp.rate_limit import RateLimitDecision, RateLimiter
 
+#: Hoisted enum members: the drop path compares these once per received
+#: query, and the two attribute loads per compare are measurable there.
+_DROP = RateLimitDecision.DROP
+_KOD = RateLimitDecision.KOD
+
 
 @dataclass
 class NTPServerConfig:
@@ -78,7 +83,29 @@ class NTPServer:
             enabled=self.config.rate_limiting,
         )
         self._rng = simulator.spawn_rng()
-        self.socket = host.bind(NTP_PORT, self._on_packet)
+        #: The per-query handler, compiled once as a closure over the hot
+        #: handles (stats block, simulator, limiter): a rate-limited
+        #: spoofing flood runs it tens of thousands of times per campaign,
+        #: and the ``self`` attribute chases are measurable there.  Both
+        #: delivery shapes (per-query and burst) use the same compiled
+        #: limiter view; a caller that swaps ``rate_limiter`` afterwards
+        #: must call :meth:`recompile`.
+        self._limiter = self.rate_limiter
+        self._handler = self._compile_handler()
+        self.socket = host.bind(NTP_PORT, self._handler)
+        # Burst arrivals (N same-source queries at one instant, the shape a
+        # spoofed flood produces) are absorbed through the rate limiter's
+        # closed-form bulk accounting instead of N handler calls.
+        self.socket.on_datagram_burst = self._on_packet_burst
+
+    def recompile(self) -> None:
+        """Re-bind the compiled handler's hot handles (after swapping
+        ``rate_limiter``), keeping the per-query and burst paths on one
+        limiter.  Mirrors :meth:`repro.netsim.datapath.HostDatapath.recompile`.
+        """
+        self._limiter = self.rate_limiter
+        self._handler = self._compile_handler()
+        self.socket.on_datagram = self._handler
 
     @property
     def ip(self) -> str:
@@ -104,32 +131,53 @@ class NTPServer:
         return cls(host, simulator, clock=clock, config=config, name=name)
 
     # -------------------------------------------------------------- serving
-    def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
-        # Route on the mode bits alone; the full decode is deferred until a
-        # response is actually built.  A rate-limited spoofing flood — tens
-        # of thousands of dropped queries per campaign — never pays for
-        # parsing fields the drop path does not read.  The two tests below
-        # reject exactly the payloads NTPPacket.decode() raises on
-        # (truncation, invalid mode 0), so the accounting that follows sees
-        # the same packets it always did and the deferred decode cannot
-        # fail.
-        if len(payload) < NTP_PACKET_LEN:
-            return
-        mode_bits = payload[0] & 0x7
-        if mode_bits != 3:  # NTPMode.CLIENT
-            if mode_bits == 6 or mode_bits == 7:  # CONTROL / PRIVATE
-                self._handle_config_query(src_ip, src_port)
-            return
-        stats = self.stats
-        stats.queries_received += 1
-        now = self.simulator._now  # slot read; the property costs a frame here
+    def _compile_handler(self):
+        """Build the per-query handler with the hot handles pre-bound.
 
-        decision = self.rate_limiter.check(src_ip, now)
-        if decision is RateLimitDecision.DROP:
-            stats.queries_dropped += 1
-            return
+        Routes on the mode bits alone; the full decode is deferred until a
+        response is actually built.  A rate-limited spoofing flood — tens
+        of thousands of dropped queries per campaign — never pays for
+        parsing fields the drop path does not read.  The two guard tests
+        reject exactly the payloads NTPPacket.decode() raises on
+        (truncation, invalid mode 0), so the accounting that follows sees
+        the same packets it always did and the deferred decode cannot
+        fail.
+        """
+        stats = self.stats
+        simulator = self.simulator
+        check = self._limiter.check
+        answer = self._answer_query
+        config_query = self._handle_config_query
+
+        def on_packet(payload: bytes, src_ip: str, src_port: int) -> None:
+            if len(payload) < NTP_PACKET_LEN:
+                return
+            mode_bits = payload[0] & 0x7
+            if mode_bits != 3:  # NTPMode.CLIENT
+                if mode_bits == 6 or mode_bits == 7:  # CONTROL / PRIVATE
+                    config_query(src_ip, src_port)
+                return
+            stats.queries_received += 1
+            now = simulator._now  # slot read; the property costs a frame here
+            decision = check(src_ip, now)
+            if decision is _DROP:
+                stats.queries_dropped += 1
+                return
+            answer(payload, src_ip, src_port, decision, now)
+
+        return on_packet
+
+    def _on_packet(self, payload: bytes, src_ip: str, src_port: int) -> None:
+        """Sequential per-query entry (the burst fallback shares it too)."""
+        self._handler(payload, src_ip, src_port)
+
+    def _answer_query(
+        self, payload: bytes, src_ip: str, src_port: int, decision, now: float
+    ) -> None:
+        """The non-drop tail of query handling: decode, KoD or respond."""
+        stats = self.stats
         query = NTPPacket.decode(payload)
-        if decision is RateLimitDecision.KOD:
+        if decision is _KOD:
             stats.kods_sent += 1
             kod = NTPPacket.kiss_of_death(query, KissCode.RATE)
             self.socket.sendto(kod.encode(), src_ip, src_port)
@@ -137,7 +185,6 @@ class NTPServer:
         if self.config.respond_probability < 1.0 and self._rng.random() > self.config.respond_probability:
             stats.queries_dropped += 1
             return
-
         response = NTPPacket.server_response(
             query,
             server_time=self.clock.time(now),
@@ -146,6 +193,59 @@ class NTPServer:
         )
         stats.responses_sent += 1
         self.socket.sendto(response.encode(), src_ip, src_port)
+
+    def _on_packet_burst(self, payloads: list, src_ip: str, src_port: int) -> None:
+        """Burst twin of :meth:`_on_packet` for N same-source arrivals.
+
+        Observably equivalent to calling :meth:`_on_packet` once per
+        payload in order (pinned by the server burst tests): the rate
+        limiter advances through one
+        :meth:`~repro.ntp.rate_limit.RateLimiter.consume_burst` call — its
+        decisions for a same-instant burst are always RESPOND × n, then at
+        most one KoD, then drops — and only the queries that actually get
+        an answer are decoded.  Heterogeneous bursts (anything that is not
+        a well-formed mode 3 query) and probabilistic responders (whose
+        per-response RNG draws must happen in per-query order) fall back
+        to the sequential loop.
+        """
+        if self.config.respond_probability < 1.0:
+            on_packet = self._on_packet
+            for payload in payloads:
+                on_packet(payload, src_ip, src_port)
+            return
+        for payload in payloads:
+            if len(payload) < NTP_PACKET_LEN or (payload[0] & 0x7) != 3:
+                on_packet = self._on_packet
+                for item in payloads:
+                    on_packet(item, src_ip, src_port)
+                return
+        n = len(payloads)
+        stats = self.stats
+        stats.queries_received += n
+        now = self.simulator._now  # slot read, as in _on_packet
+        outcome = self._limiter.consume_burst(src_ip, n, now)
+        responds = outcome.responds
+        sendto = self.socket.sendto
+        if responds:
+            stratum = self.config.stratum
+            reference_id = self.config.upstream_server
+            clock_time = self.clock.time
+            for index in range(responds):
+                query = NTPPacket.decode(payloads[index])
+                response = NTPPacket.server_response(
+                    query,
+                    server_time=clock_time(now),
+                    stratum=stratum,
+                    reference_id=reference_id,
+                )
+                stats.responses_sent += 1
+                sendto(response.encode(), src_ip, src_port)
+        if outcome.kod:
+            query = NTPPacket.decode(payloads[responds])
+            stats.kods_sent += 1
+            kod = NTPPacket.kiss_of_death(query, KissCode.RATE)
+            sendto(kod.encode(), src_ip, src_port)
+        stats.queries_dropped += outcome.drops
 
     def _handle_config_query(self, src_ip: str, src_port: int) -> None:
         """Answer a mode 6/7 configuration query when the interface is open.

@@ -44,6 +44,12 @@ ENCODE_STAGES = ("dns_encode", "ntp_encode")
 #: time *contains* the codec calls made inside datagram handlers; shares
 #: subtract the codec aggregate so the reported buckets stay disjoint.
 PIPELINE_STAGES = ("defrag", "checksum", "demux", "handler")
+#: Event-dispatch stages split out of the old ``dispatch_other`` remainder
+#: by the burst-execution engine: ``heap`` is the measured heap-pop share
+#: of the simulator drain (a lower bound — pushes happen inside callbacks),
+#: ``burst_drain`` the delivery-burst bookkeeping (grouping plus the
+#: vectorised checksum verify; see :mod:`repro.netsim.burst`).
+DISPATCH_STAGES = ("heap", "burst_drain")
 
 #: Prune threshold for the attached-source registry (dead weakrefs).
 _ATTACH_PRUNE_THRESHOLD = 4096
@@ -87,7 +93,7 @@ def stage_shares(
         "encode": round(encode_seconds / wall_time, 4),
     }
     attributed = decode_seconds + encode_seconds
-    for stage in PIPELINE_STAGES:
+    for stage in PIPELINE_STAGES + DISPATCH_STAGES:
         seconds = pipeline_seconds.get(stage, 0.0)
         if stage == "handler":
             # Handlers invoke the codecs; keep the buckets disjoint.
@@ -182,6 +188,15 @@ class StageCounters:
         self.times[stage] = self.times.get(stage, 0.0) + elapsed
         self.calls[stage] = self.calls.get(stage, 0) + 1
 
+    def add_many(self, stage: str, elapsed: float, calls: int) -> None:
+        """Record ``calls`` timed operations of ``stage`` in one update.
+
+        Used by sources that accumulate locally over a whole drain (the
+        simulator's heap timing, the delivery bursts) and reconcile once.
+        """
+        self.times[stage] = self.times.get(stage, 0.0) + elapsed
+        self.calls[stage] = self.calls.get(stage, 0) + calls
+
     def merged(self) -> tuple[dict[str, float], dict[str, int]]:
         """Direct counters plus every live attached source, non-destructively."""
         times = dict(self.times)
@@ -218,7 +233,8 @@ class StageCounters:
         }
         if wall_time is not None and wall_time > 0:
             pipeline = {
-                stage: times.get(stage, 0.0) for stage in PIPELINE_STAGES
+                stage: times.get(stage, 0.0)
+                for stage in PIPELINE_STAGES + DISPATCH_STAGES
             }
             attribution = stage_shares(decode, encode, wall_time, pipeline)
             document["wall_time_seconds"] = attribution["wall_time_seconds"]
@@ -239,5 +255,6 @@ __all__ = [
     "DECODE_STAGES",
     "ENCODE_STAGES",
     "PIPELINE_STAGES",
+    "DISPATCH_STAGES",
     "stage_shares",
 ]

@@ -1,0 +1,29 @@
+"""The lab-internal fabric scenario: trust changes speed, not outcomes.
+
+``table2_trusted_fabric`` runs the fixed-seed Table II cell with
+``LinkProfile.trusted()`` on every victim↔upstream link.  Trust only skips
+per-packet verification work for well-formed traffic, so the scenario must
+reproduce the golden run's results exactly — same attack duration, same
+clock shift to the last bit, same event and packet counts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentRunner, RunSpec
+
+from tests.integration.test_determinism import GOLDEN
+
+
+class TestTrustedFabricScenario:
+    def test_results_match_the_golden_run_bit_for_bit(self):
+        outcome = ExperimentRunner(max_workers=1).run(
+            [RunSpec.make("table2_trusted_fabric", client="ntpd", attack="P1", seed=5)]
+        )[0]
+        assert outcome.ok, outcome.error
+        for key, expected in GOLDEN.items():
+            assert outcome.result[key] == expected, (
+                key,
+                outcome.result[key],
+                expected,
+            )
+        assert outcome.result["label"] == "ntpd+trusted-fabric"

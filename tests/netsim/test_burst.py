@@ -1,0 +1,424 @@
+"""Unit tests for the burst engine: simulator entries, delivery, handlers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.errors import SimulationError
+from repro.netsim.network import Network
+from repro.netsim.packet import IPProtocol, IPv4Packet
+from repro.netsim.simulator import Simulator
+from repro.netsim.udp import UDPDatagram, encode_udp
+from repro.ntp.packet import NTPPacket, NTP_PORT
+from repro.ntp.server import NTPServer, NTPServerConfig
+
+
+class TestPostBurst:
+    def test_burst_members_fire_in_order_with_neighbours(self):
+        sim = Simulator()
+        order = []
+        sim.post(1.0, order.append, "before")
+        sim.post_burst(1.0, order.append, ["b1", "b2", "b3"])
+        sim.post(1.0, order.append, "after")
+        sim.run()
+        assert order == ["before", "b1", "b2", "b3", "after"]
+
+    def test_burst_consumes_one_sequence_number_per_member(self):
+        sim = Simulator()
+        sim.post_burst(1.0, lambda _: None, [1, 2, 3, 4])
+        assert sim.pending() == 4
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.events_processed == 4
+        assert sim.bursts_posted == 1
+
+    def test_empty_burst_schedules_nothing(self):
+        sim = Simulator()
+        sim.post_burst(1.0, lambda _: None, [])
+        assert sim.pending() == 0
+        assert sim.run() == 0
+
+    def test_single_member_degrades_to_post(self):
+        sim = Simulator()
+        fired = []
+        sim.post_burst(1.0, fired.append, ["only"])
+        assert sim.bursts_posted == 0  # plain anonymous entry
+        sim.run()
+        assert fired == ["only"]
+        assert sim.events_processed == 1
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.post_burst(-0.5, lambda _: None, [1])
+
+    def test_burst_is_atomic_under_max_events(self):
+        sim = Simulator()
+        fired = []
+        sim.post_burst(1.0, fired.append, [1, 2, 3])
+        processed = sim.run(max_events=1)
+        # Bursts never split: the entry drains whole and counts 3.
+        assert processed == 3
+        assert fired == [1, 2, 3]
+
+    def test_step_executes_whole_burst(self):
+        sim = Simulator()
+        fired = []
+        sim.post_burst(2.0, fired.append, ["x", "y"])
+        event = sim.step()
+        assert fired == ["x", "y"]
+        assert event is not None and event.time == 2.0
+        assert sim.events_processed == 2
+
+    def test_burst_members_can_post_more_work(self):
+        sim = Simulator()
+        fired = []
+
+        def member(tag):
+            fired.append(tag)
+            if tag == "a":
+                sim.post(0.0, fired.append, "child-of-a")
+
+        sim.post_burst(1.0, member, ["a", "b"])
+        sim.run()
+        # The child fires after the rest of the burst (it got a later
+        # sequence number), exactly as N singular posts would order it.
+        assert fired == ["a", "b", "child-of-a"]
+
+    def test_run_until_respects_burst_time(self):
+        sim = Simulator()
+        fired = []
+        sim.post_burst(5.0, fired.append, [1, 2])
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_post_burst_entry_custom_object(self):
+        class CountingBurst:
+            count = 3
+
+            def __init__(self):
+                self.ran = 0
+
+            def run(self):
+                self.ran += 1
+
+        sim = Simulator()
+        burst = CountingBurst()
+        sim.post_burst_entry(1.0, burst)
+        assert sim.pending() == 3
+        sim.run()
+        assert burst.ran == 1
+        assert sim.events_processed == 3
+
+
+class TestCoalescedDrainCancellation:
+    """Cancelled events inside a coalesced equal-timestamp run must be
+    skipped without distorting events_processed or pending()."""
+
+    def test_cancelled_mid_run_not_counted(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, lambda: fired.append("first"))
+        middle = sim.schedule(1.0, lambda: fired.append("middle"))
+        last = sim.schedule(1.0, lambda: fired.append("last"))
+        middle.cancel()
+        processed = sim.run(until=2.0)
+        assert fired == ["first", "last"]
+        assert processed == 2
+        assert sim.events_processed == 2
+        assert sim.pending() == 0
+        assert first.time == last.time == 1.0
+
+    def test_callback_cancels_same_instant_event(self):
+        """An event cancelling a later same-instant event mid-coalesced-run."""
+        sim = Simulator()
+        fired = []
+        events = {}
+
+        def first():
+            fired.append("first")
+            events["victim"].cancel()
+
+        sim.schedule(1.0, first)
+        events["victim"] = sim.schedule(1.0, lambda: fired.append("victim"))
+        sim.schedule(1.0, lambda: fired.append("third"))
+        sim.run(until=5.0)
+        assert fired == ["first", "third"]
+        assert sim.events_processed == 2
+        assert sim.pending() == 0
+
+    def test_trailing_cancelled_run_keeps_pending_exact(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None).cancel()
+        sim.run(until=3.0)
+        assert sim.events_processed == 1
+        assert sim.pending() == 0
+
+
+def star_world(count: int, latency: float = 0.01):
+    sim = Simulator(seed=1)
+    network = Network(sim, default_latency=latency)
+    src = "192.0.2.1"
+    network.add_host("sender", src)
+    received = []
+    packets = []
+    for index in range(count):
+        dst = f"203.0.113.{index + 1}"
+        host = network.add_host(f"r{index}", dst)
+        host.bind(
+            4242,
+            lambda payload, ip, port, _dst=dst: received.append((_dst, payload)),
+        )
+        payload = encode_udp(src, dst, UDPDatagram(5353, 4242, b"x" * 48))
+        packets.append(IPv4Packet.udp(src, dst, payload, index & 0xFFFF))
+    return sim, network, received, packets
+
+
+class TestTransmitBurstDelivery:
+    def test_spray_delivers_in_order_as_one_heap_entry(self):
+        sim, network, received, packets = star_world(8)
+        network.transmit_burst(packets)
+        assert sim.bursts_posted == 1
+        assert sim.pending() == 8
+        sim.run()
+        assert [dst for dst, _ in received] == [p.dst for p in packets]
+        assert sim.events_processed == 8
+
+    def test_mixed_latency_spray_splits_groups(self):
+        sim, network, received, packets = star_world(4)
+        from repro.netsim.network import Link
+
+        # Middle destination gets a slower link: the spray splits into
+        # same-instant groups around it, preserving delivery order per time.
+        network.set_link("192.0.2.1", packets[1].dst, Link(latency=0.5))
+        network.transmit_burst(packets)
+        sim.run()
+        fast = [p.dst for i, p in enumerate(packets) if i != 1]
+        assert [dst for dst, _ in received] == fast + [packets[1].dst]
+
+    def test_corrupted_checksum_counted_per_host(self):
+        sim, network, received, packets = star_world(6)
+        bad = packets[2]
+        payload = encode_udp("9.9.9.9", bad.dst, UDPDatagram(5353, 4242, b"y" * 48))
+        packets[2] = IPv4Packet.udp(bad.src, bad.dst, payload, 2)
+        network.transmit_burst(packets)
+        sim.run()
+        assert len(received) == 5
+        assert network.host(bad.dst).stats.udp_checksum_failures == 1
+        for index, packet in enumerate(packets):
+            if index != 2:
+                assert network.host(packet.dst).stats.udp_received == 1
+
+
+def build_server(rate_limiting: bool = True, respond_probability: float = 1.0):
+    sim = Simulator(seed=9)
+    network = Network(sim)
+    host = network.add_host("server", "203.0.113.5")
+    config = NTPServerConfig(
+        rate_limiting=rate_limiting,
+        send_kod=True,
+        average_interval=8.0,
+        burst_tolerance=16.0,
+        respond_probability=respond_probability,
+    )
+    server = NTPServer(host, sim, config=config)
+    return sim, network, server
+
+
+def query_payloads(sim, n):
+    wire = NTPPacket.client_query_wire(sim.now)
+    return [wire for _ in range(n)]
+
+
+class TestServerBurstHandler:
+    def test_burst_equivalent_to_sequential(self):
+        sim_a, _, server_a = build_server()
+        sim_b, _, server_b = build_server()
+        src = "192.0.2.77"
+        payloads = query_payloads(sim_a, 7)
+        for payload in payloads:
+            server_a._on_packet(payload, src, 123)
+        server_b._on_packet_burst(list(payloads), src, 123)
+        for name in (
+            "queries_received",
+            "responses_sent",
+            "kods_sent",
+            "queries_dropped",
+        ):
+            assert getattr(server_a.stats, name) == getattr(server_b.stats, name), name
+        state_a = server_a.rate_limiter.sources[src]
+        state_b = server_b.rate_limiter.sources[src]
+        assert (state_a.score, state_a.last_seen, state_a.kod_sent, state_a.drops) == (
+            state_b.score,
+            state_b.last_seen,
+            state_b.kod_sent,
+            state_b.drops,
+        )
+        # The same responses went on the wire in the same order.
+        assert sim_a.pending() == sim_b.pending()
+
+    def test_heterogeneous_burst_falls_back_to_sequential(self):
+        sim, _, server = build_server()
+        src = "192.0.2.78"
+        payloads = query_payloads(sim, 3) + [b"\x06" + b"\x00" * 47]  # mode 6
+        server._on_packet_burst(payloads, src, 123)
+        assert server.stats.queries_received == 3  # mode 6 not counted
+
+    def test_probabilistic_responder_falls_back(self):
+        sim_a, _, server_a = build_server(respond_probability=0.5)
+        sim_b, _, server_b = build_server(respond_probability=0.5)
+        src = "192.0.2.79"
+        payloads = query_payloads(sim_a, 10)
+        for payload in payloads:
+            server_a._on_packet(payload, src, 123)
+        server_b._on_packet_burst(list(payloads), src, 123)
+        # Identically seeded worlds: the fallback must consume the RNG in
+        # the same per-query order, so the outcomes match exactly.
+        assert server_a.stats.responses_sent == server_b.stats.responses_sent
+        assert server_a.stats.queries_dropped == server_b.stats.queries_dropped
+
+
+class TestInboxModeSocketKeepsPerPacketDelivery:
+    def test_burst_handler_not_used_when_on_datagram_is_none(self):
+        """An inbox-mode socket (no on_datagram) must queue datagrams
+        individually even when a burst handler is installed — delivery
+        semantics cannot depend on heap-entry shape."""
+        sim = Simulator(seed=8)
+        network = Network(sim)
+        network.add_host("sender", "192.0.2.60")
+        receiver = network.add_host("receiver", "203.0.113.20")
+        socket = receiver.bind(4000)  # inbox mode
+        socket.on_datagram_burst = lambda payloads, src, port: (_ for _ in ()).throw(
+            AssertionError("burst handler must not fire for inbox sockets")
+        )
+        payload = encode_udp(
+            "192.0.2.60", "203.0.113.20", UDPDatagram(5000, 4000, b"q" * 20)
+        )
+        packets = [
+            IPv4Packet.udp("192.0.2.60", "203.0.113.20", payload, i) for i in range(6)
+        ]
+        network.transmit_burst(packets)
+        sim.run()
+        assert len(socket.inbox) == 6
+
+
+class TestFloodThroughBurstEngine:
+    def test_same_destination_flood_uses_burst_handler(self):
+        """End to end: a spoofed same-(src,dst) flood reaches the server's
+        burst handler via run detection and produces the exact outcomes of
+        singular delivery."""
+
+        def run_flood(use_burst: bool):
+            sim = Simulator(seed=5)
+            network = Network(sim)
+            network.add_host("victim", "192.0.2.50")
+            host = network.add_host("server", "203.0.113.9")
+            server = NTPServer(
+                host,
+                sim,
+                config=NTPServerConfig(
+                    rate_limiting=True, send_kod=True, burst_tolerance=24.0
+                ),
+            )
+            wire = NTPPacket.client_query_wire(sim.now)
+            payload = encode_udp(
+                "192.0.2.50", "203.0.113.9", UDPDatagram(NTP_PORT, NTP_PORT, wire)
+            )
+            packets = [
+                IPv4Packet.udp("192.0.2.50", "203.0.113.9", payload, i)
+                for i in range(20)
+            ]
+            if use_burst:
+                network.transmit_burst(packets)
+            else:
+                for packet in packets:
+                    network.transmit(packet)
+            sim.run()
+            return (
+                server.stats.queries_received,
+                server.stats.responses_sent,
+                server.stats.kods_sent,
+                server.stats.queries_dropped,
+                server.rate_limiter.queries_dropped,
+                host.stats.udp_received,
+                sim.events_processed,
+            )
+
+        assert run_flood(True) == run_flood(False)
+
+    def test_trusted_link_flood_still_takes_burst_handler(self):
+        """Trusted links parse without the checksum pass — they must not
+        fall off the burst engine (a trusted packet is the *cheapest* to
+        pre-parse), and they must keep skipping the defrag sweep exactly
+        like deliver_trusted."""
+
+        def run_flood(use_burst: bool):
+            sim = Simulator(seed=6)
+            network = Network(sim)
+            network.add_host("victim", "192.0.2.50")
+            host = network.add_host("server", "203.0.113.9")
+            network.trust_link("192.0.2.50", "203.0.113.9")
+            server = NTPServer(
+                host,
+                sim,
+                config=NTPServerConfig(
+                    rate_limiting=True, send_kod=True, burst_tolerance=24.0
+                ),
+            )
+            burst_calls = []
+            inner = server.socket.on_datagram_burst
+
+            def counting_burst(payloads, src_ip, src_port):
+                burst_calls.append(len(payloads))
+                inner(payloads, src_ip, src_port)
+
+            server.socket.on_datagram_burst = counting_burst
+            # A pending reassembly bucket: the trusted path must NOT sweep
+            # it on unfragmented arrivals (deliver_trusted semantics).
+            fragment = IPv4Packet(
+                src="192.0.2.50",
+                dst="203.0.113.9",
+                protocol=IPProtocol.UDP,
+                payload=b"\x00" * 16,
+                ipid=999,
+                more_fragments=True,
+            )
+            host.defrag.add_fragment(fragment, sim.now)
+            wire = NTPPacket.client_query_wire(sim.now)
+            payload = encode_udp(
+                "192.0.2.50", "203.0.113.9", UDPDatagram(NTP_PORT, NTP_PORT, wire)
+            )
+            packets = [
+                IPv4Packet.udp("192.0.2.50", "203.0.113.9", payload, i)
+                for i in range(12)
+            ]
+            if use_burst:
+                network.transmit_burst(packets)
+            else:
+                for packet in packets:
+                    network.transmit(packet)
+            sim.advance(40.0)  # well past the reassembly timeout
+            return (
+                server.stats.queries_received,
+                server.stats.responses_sent,
+                server.stats.kods_sent,
+                server.stats.queries_dropped,
+                host.stats.udp_received,
+                len(host.defrag._buckets),  # trusted: bucket never swept
+                burst_calls,
+            )
+
+        burst_outcome = run_flood(True)
+        singular_outcome = run_flood(False)
+        # The burst path used the burst handler exactly once, for all 12.
+        assert burst_outcome[-1] == [12]
+        assert singular_outcome[-1] == []
+        # Everything else — including the unswept reassembly bucket — is
+        # identical to singular trusted delivery.
+        assert burst_outcome[:-1] == singular_outcome[:-1]
+        assert burst_outcome[-2] == 1  # the stale bucket survived

@@ -244,16 +244,12 @@ class TestChecksumFastPathsPinned:
 
         remover = object.__new__(rla.AssociationRemover)
         remover.victim_ip = victim
-        remover._victim_sum = _address_word_sum(victim)
         remover._wire_time = None
         remover._wire = b""
         remover._wire_sum = 0
         remover._query_payload(now)
         campaign = rla.RemovalCampaign(
-            server_ip=server,
-            victim_ip=victim,
-            started_at=0.0,
-            server_sum=_address_word_sum(server),
+            server_ip=server, victim_ip=victim, started_at=0.0
         )
         packet = remover._craft_query(campaign)
         assert packet.payload == reference
