@@ -8,14 +8,19 @@
 #                      (refuses to overwrite the baseline on regression)
 #   make bench-burst   quick burst-engine microbenchmarks only (delivery
 #                      bursts + bulk rate-limiter accounting, JSON output)
+#   make chaos         fault-injection / resilience property suite only
+#                      (the `chaos`-marked tests, which `make test` also runs)
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test regression bench bench-refresh bench-burst
+.PHONY: test regression bench bench-refresh bench-burst chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+chaos:
+	$(PYTHON) -m pytest -m chaos -q
 
 regression:
 	$(PYTHON) benchmarks/check_regression.py

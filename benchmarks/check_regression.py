@@ -10,7 +10,13 @@ renaming bench fields does not break the gate.
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
-        [--baseline PATH] [--threshold 0.2] [--rounds N]
+        [--baseline PATH] [--threshold 0.2] [--rounds N] [--allow-missing]
+
+A missing baseline is a typed, actionable error (exit code 2) unless
+``--allow-missing`` is passed for fresh checkouts; a baseline whose schema
+does not match :data:`EXPECTED_SCHEMA` always is.  Scheduler-noise-prone
+microbenchmarks carry individual :data:`NOISE_BANDS` wider than the default
+threshold so run-to-run wobble does not read as a regression.
 
 ``run_benchmarks.py`` wires this in automatically: after refreshing the JSON
 it diffs the new document against the previously committed one and fails the
@@ -51,6 +57,80 @@ THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
 #: Default tolerated fractional slowdown per metric.
 DEFAULT_THRESHOLD = 0.20
 
+#: Per-metric noise bands (dotted metric name → tolerated fractional
+#: slowdown), overriding the global threshold.  The sub-millisecond
+#: event-loop and rate-limiter microbenches are dominated by OS scheduling
+#: jitter and CPU frequency state, so they wobble far more run-to-run than
+#: the long pipeline and end-to-end measurements; giving them a wider band
+#: keeps the gate sensitive where measurements are stable without turning
+#: scheduler noise into false regressions.  ``--threshold`` only moves
+#: metrics NOT listed here.
+NOISE_BANDS: dict[str, float] = {
+    "microbenchmarks.event_loop.delivery.fast_events_per_sec": 0.30,
+    "microbenchmarks.event_loop.schedule_drain.fast_events_per_sec": 0.30,
+    "microbenchmarks.event_loop.timer_chain.fast_events_per_sec": 0.30,
+    "microbenchmarks.limiter_burst_ops_per_sec": 0.30,
+    "microbenchmarks.dns_decode_cold_ops_per_sec": 0.30,
+}
+
+#: The bench document schema this checker understands (see
+#: ``repro.experiments.runner.write_bench_json``).
+EXPECTED_SCHEMA = "repro-bench/1"
+
+
+class BaselineError(RuntimeError):
+    """The committed benchmark baseline cannot be used for comparison."""
+
+
+class BaselineMissingError(BaselineError):
+    """No baseline file exists at the expected path."""
+
+
+class BaselineSchemaError(BaselineError):
+    """The baseline file exists but is not a bench document we understand."""
+
+
+def load_baseline(path: str) -> dict[str, Any]:
+    """Load and validate the committed baseline, raising typed errors.
+
+    * :class:`BaselineMissingError` when the file does not exist, and
+    * :class:`BaselineSchemaError` when it is not JSON, not an object,
+      declares a schema other than :data:`EXPECTED_SCHEMA`, or carries
+      none of the sections the metric paths point into.
+    """
+    if not os.path.exists(path):
+        raise BaselineMissingError(
+            f"no benchmark baseline at {path} — run `make bench-refresh` to "
+            "create one, or pass --allow-missing to skip the comparison"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except json.JSONDecodeError as exc:
+        raise BaselineSchemaError(
+            f"baseline {path} is not valid JSON ({exc}); regenerate it with "
+            "`make bench-refresh`"
+        ) from exc
+    if not isinstance(document, dict):
+        raise BaselineSchemaError(
+            f"baseline {path} is {type(document).__name__}, expected a JSON "
+            "object; regenerate it with `make bench-refresh`"
+        )
+    found_schema = document.get("schema")
+    if found_schema != EXPECTED_SCHEMA:
+        raise BaselineSchemaError(
+            f"baseline {path} declares schema {found_schema!r}, this checker "
+            f"understands {EXPECTED_SCHEMA!r}; regenerate it with "
+            "`make bench-refresh`"
+        )
+    if "microbenchmarks" not in document and "experiments" not in document:
+        raise BaselineSchemaError(
+            f"baseline {path} has neither a 'microbenchmarks' nor an "
+            "'experiments' section — nothing the metric paths can compare; "
+            "regenerate it with `make bench-refresh`"
+        )
+    return document
+
 
 def extract(document: dict[str, Any], path: tuple[str, ...]) -> Optional[float]:
     """Walk ``path`` into ``document``; None when any key is missing."""
@@ -69,32 +149,30 @@ def compare(
 ) -> tuple[list[str], list[str]]:
     """Diff the two documents; returns ``(regressions, notes)``.
 
-    A regression is a metric whose fresh value is more than ``threshold``
-    below the baseline.  Notes cover skipped metrics and improvements.
+    A regression is a metric whose fresh value is more than its noise band
+    below the baseline — :data:`NOISE_BANDS` for the scheduler-sensitive
+    microbenches, ``threshold`` for everything else.  Notes cover skipped
+    metrics and improvements.
     """
     regressions: list[str] = []
     notes: list[str] = []
     for path in THROUGHPUT_METRICS:
         name = ".".join(path)
+        band = NOISE_BANDS.get(name, threshold)
         old = extract(baseline, path)
         new = extract(fresh, path)
         if old is None or new is None or old <= 0:
             notes.append(f"skipped {name} (missing in baseline or fresh run)")
             continue
         change = (new - old) / old
-        if change < -threshold:
+        if change < -band:
             regressions.append(
                 f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
-                f"threshold -{threshold:.0%})"
+                f"noise band -{band:.0%})"
             )
         else:
             notes.append(f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%})")
     return regressions, notes
-
-
-def load_document(path: str) -> dict[str, Any]:
-    with open(path, "r", encoding="utf-8") as handle:
-        return json.load(handle)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -113,11 +191,23 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--rounds", type=int, default=3, help="best-of rounds for the fresh run"
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="exit 0 when no baseline exists (fresh checkouts / first run)",
+    )
     args = parser.parse_args(argv)
-    if not os.path.exists(args.baseline):
-        print(f"no baseline at {args.baseline}; nothing to compare")
-        return 0
-    baseline = load_document(args.baseline)
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineMissingError as exc:
+        if args.allow_missing:
+            print(f"{exc}; nothing to compare")
+            return 0
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BaselineSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     from bench_micro_netsim import run_micro_benchmarks
     from run_benchmarks import refine_timing, run_end_to_end, run_trusted_fabric

@@ -19,9 +19,13 @@ See ``EXPERIMENTS.md`` at the repository root for the full guide.
 """
 
 from repro.experiments.runner import (
+    ERROR_KINDS,
+    CheckpointError,
     ExperimentRunner,
+    RetryPolicy,
     RunOutcome,
     RunSpec,
+    load_checkpoint,
     make_grid,
     outcomes_table,
     write_bench_json,
@@ -30,11 +34,15 @@ from repro.experiments.scenarios import SCENARIOS, get_scenario, scenario
 from repro.experiments.warmup import warm_worker_caches
 
 __all__ = [
+    "CheckpointError",
+    "ERROR_KINDS",
     "ExperimentRunner",
+    "RetryPolicy",
     "RunOutcome",
     "RunSpec",
     "SCENARIOS",
     "get_scenario",
+    "load_checkpoint",
     "make_grid",
     "outcomes_table",
     "scenario",

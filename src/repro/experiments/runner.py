@@ -11,6 +11,20 @@ boundary — workers resolve the scenario function from the registry in
 :mod:`repro.experiments.scenarios` by name.  This keeps the engine robust to
 the usual pickling pitfalls (lambdas, locally defined classes, bound
 methods).
+
+Resilience (the fault-injection PR's second half): sweeps survive the
+failures that long population-scale grids actually hit.  Worker crashes
+(``BrokenProcessPool``) respawn the pool and requeue the in-flight chunks;
+per-run timeouts kill a stalled pool and recover the other chunks; failed
+runs can be retried with exponential backoff and *deterministic* jitter
+(:class:`RetryPolicy` — the jitter is a pure function of the run label and
+attempt number, so resumed sweeps pace identically); every failure carries
+a typed ``error_kind`` on its :class:`RunOutcome`; and a sweep can be
+*checkpointed* to an append-only JSONL file and later :meth:`resumed
+<ExperimentRunner.resume>` — finished specs are skipped and the combined
+outcome list is identical to an uninterrupted run (scenarios are pure
+functions of their spec, so re-executing the unfinished tail reproduces
+exactly what the interrupted run would have produced).
 """
 
 from __future__ import annotations
@@ -18,9 +32,12 @@ from __future__ import annotations
 import json
 import os
 import platform
+import random
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
 
@@ -35,6 +52,73 @@ from repro.perf import (
 
 #: Default file the benchmark harness persists timings to (repo root).
 BENCH_JSON_FILENAME = "BENCH_netsim.json"
+
+#: The typed error taxonomy carried by ``RunOutcome.error_kind``:
+#:
+#: * ``scenario-error`` — the scenario function raised; deterministic for a
+#:   deterministic scenario, so not retried by default.
+#: * ``timeout`` — the run (or its chunk — see ``run_timeout``) exceeded its
+#:   deadline and the worker was killed.
+#: * ``worker-crash`` — the worker process died (OOM kill, segfault,
+#:   ``BrokenProcessPool``); every chunk in flight at the moment of the
+#:   crash is attributed this kind because the pool cannot say which task
+#:   took the process down.
+ERROR_KINDS = ("scenario-error", "timeout", "worker-crash")
+
+
+class CheckpointError(RuntimeError):
+    """A sweep checkpoint could not be written, read, or matched to specs."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry failed runs with exponential backoff and deterministic jitter.
+
+    ``delay(label, attempt)`` is a pure function — the jitter comes from a
+    :class:`random.Random` seeded with the run label and attempt number,
+    not from global randomness — so a resumed sweep backs off exactly like
+    the uninterrupted one would have.  ``retry_on`` selects which
+    :data:`ERROR_KINDS` are worth re-executing; the default retries the
+    transient kinds (crashes, timeouts) and not deterministic scenario
+    errors, which would fail identically every time.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter_fraction: float = 0.1
+    retry_on: tuple[str, ...] = ("worker-crash", "timeout")
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be >= 0")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
+        for kind in self.retry_on:
+            if kind not in ERROR_KINDS:
+                raise ValueError(
+                    f"unknown error kind {kind!r}; expected one of {ERROR_KINDS}"
+                )
+
+    def should_retry(self, error_kind: Optional[str], attempt: int) -> bool:
+        """Whether a failure of ``error_kind`` on ``attempt`` gets another go."""
+        return attempt < self.max_attempts and error_kind in self.retry_on
+
+    def delay(self, label: str, attempt: int) -> float:
+        """Backoff before re-running ``label`` after failed ``attempt``."""
+        backoff = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter_fraction <= 0.0 or backoff <= 0.0:
+            return backoff
+        unit = random.Random(f"{label}#{attempt}").random()
+        return backoff * (1.0 + self.jitter_fraction * (2.0 * unit - 1.0))
 
 
 @dataclass(frozen=True)
@@ -76,6 +160,10 @@ class RunOutcome:
     #: Per-stage decode/encode wall-time snapshot (see :mod:`repro.perf`);
     #: populated only when stage-stats collection is enabled.
     stage_stats: Optional[dict] = None
+    #: One of :data:`ERROR_KINDS` when ``error`` is set, ``None`` otherwise.
+    error_kind: Optional[str] = None
+    #: Which execution attempt produced this outcome (1 = first try).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -133,6 +221,7 @@ def _execute(spec: RunSpec) -> RunOutcome:
             spec=spec,
             wall_time=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
+            error_kind="scenario-error",
         )
     finally:
         if collect_stages:
@@ -144,6 +233,203 @@ def _execute(spec: RunSpec) -> RunOutcome:
         wall_time=wall_time,
         stage_stats=STAGES.snapshot(wall_time) if collect_stages else None,
     )
+
+
+# --------------------------------------------------------------- checkpoints
+def _spec_document(spec: RunSpec) -> dict[str, Any]:
+    """The JSON shape a spec takes inside a checkpoint line."""
+    return {
+        "scenario": spec.scenario,
+        "params": [[name, value] for name, value in spec.params],
+    }
+
+
+def _json_normalise(value: Any) -> Any:
+    """Round-trip through JSON (tuples → lists etc.) for spec comparison."""
+    return json.loads(json.dumps(value))
+
+
+class _CheckpointWriter:
+    """Append-only JSONL sink for completed outcomes.
+
+    One line per finished run, flushed and fsynced immediately so a killed
+    sweep loses at most the line being written (a torn final line, which
+    the loader tolerates).  Lines are written in *completion* order and
+    carry the spec index, so declaration order is reconstructed on load.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            self._repair_torn_tail(path)
+            self._handle = open(path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(f"cannot open checkpoint {path!r}: {exc}") from exc
+
+    @staticmethod
+    def _repair_torn_tail(path: str) -> None:
+        """Truncate a partial final line left by a kill mid-write.
+
+        The loader already treats the fragment as not-done (the run will
+        re-execute), but appending to it would concatenate the next entry
+        onto the fragment and corrupt the file — so drop it first.
+        """
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        if not data or data.endswith(b"\n"):
+            return
+        end = data.rfind(b"\n")
+        with open(path, "wb") as handle:
+            handle.write(data[: end + 1])
+
+    def append(self, index: int, outcome: RunOutcome) -> None:
+        entry = {
+            "index": index,
+            "spec": _spec_document(outcome.spec),
+            "result": outcome.result,
+            "wall_time": outcome.wall_time,
+            "error": outcome.error,
+            "error_kind": outcome.error_kind,
+            "attempts": outcome.attempts,
+        }
+        if outcome.stage_stats is not None:
+            entry["stage_stats"] = outcome.stage_stats
+        try:
+            line = json.dumps(entry)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"outcome of {outcome.spec.label} is not JSON-serialisable "
+                f"(checkpointed sweeps need JSON-safe scenario results): {exc}"
+            ) from exc
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def load_checkpoint(path: str, specs: Sequence[RunSpec]) -> dict[int, RunOutcome]:
+    """Read a checkpoint back into ``{spec index: RunOutcome}``.
+
+    Validates every line against the sweep it claims to belong to — the
+    index must be in range and the recorded spec must equal ``specs[index]``
+    (a mismatch means the checkpoint came from a different grid and raises
+    :class:`CheckpointError` rather than silently skipping wrong runs).  A
+    torn final line (the process was killed mid-write) is ignored; JSON
+    floats round-trip exactly, so reloaded results compare bit-identical
+    to freshly executed ones.
+    """
+    done: dict[int, RunOutcome] = {}
+    if not os.path.exists(path):
+        return done
+    expected = [_json_normalise(_spec_document(spec)) for spec in specs]
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for line_number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            if line_number == len(lines):
+                break  # torn tail from a kill mid-write: the run re-executes
+            raise CheckpointError(
+                f"checkpoint {path!r} line {line_number} is not valid JSON"
+            ) from None
+        index = entry.get("index")
+        if not isinstance(index, int) or not 0 <= index < len(specs):
+            raise CheckpointError(
+                f"checkpoint {path!r} line {line_number}: index {index!r} "
+                f"out of range for a sweep of {len(specs)} specs"
+            )
+        if entry.get("spec") != expected[index]:
+            raise CheckpointError(
+                f"checkpoint {path!r} line {line_number}: recorded spec "
+                f"{entry.get('spec')!r} does not match {specs[index].label} — "
+                "this checkpoint belongs to a different sweep"
+            )
+        done[index] = RunOutcome(
+            spec=specs[index],
+            result=entry.get("result"),
+            wall_time=entry.get("wall_time", 0.0),
+            error=entry.get("error"),
+            stage_stats=entry.get("stage_stats"),
+            error_kind=entry.get("error_kind"),
+            attempts=entry.get("attempts", 1),
+        )
+    return done
+
+
+class _ProgressTracker:
+    """Throttled completed/total emission shared by run() and the writer."""
+
+    def __init__(
+        self,
+        callback: Optional[Callable[[int, int], None]],
+        interval: float,
+        total: int,
+        completed: int,
+    ) -> None:
+        self.callback = callback
+        self.interval = interval
+        self.total = total
+        self.completed = completed
+        self._last_time = time.monotonic()
+        self._last_reported = -1
+
+    def advance(self, count: int = 1) -> None:
+        self.completed += count
+        if self.callback is None:
+            return
+        now = time.monotonic()
+        if (
+            self.interval <= 0.0
+            or now - self._last_time >= self.interval
+            or self.completed >= self.total
+        ):
+            self._last_time = now
+            self._last_reported = self.completed
+            self.callback(self.completed, self.total)
+
+    def finish(self) -> None:
+        """Guarantee a final emission even when the throttle swallowed it."""
+        if self.callback is not None and self._last_reported != self.completed:
+            self._last_reported = self.completed
+            self.callback(self.completed, self.total)
+
+
+@dataclass(frozen=True)
+class _Chunk:
+    """A contiguous slice of the grid scheduled as one pool task."""
+
+    items: tuple[tuple[int, RunSpec], ...]  # (declaration index, spec)
+    attempt: int = 1
+
+    @property
+    def label(self) -> str:
+        first = self.items[0][1].label
+        if len(self.items) == 1:
+            return first
+        return f"{first} (+{len(self.items) - 1} more)"
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers and abandon it (stalled or broken)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # noqa: BLE001 - already-dead workers are fine
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - broken executors may refuse shutdown
+        pass
 
 
 class ExperimentRunner:
@@ -171,6 +457,24 @@ class ExperimentRunner:
         a heterogeneous grid.  ``1`` reproduces the old task-per-scenario
         submission.  Each chunk runs against that worker's warmed caches
         (see :mod:`repro.experiments.warmup`).
+    run_timeout:
+        Per-run wall-clock budget in seconds, enforced in process mode: a
+        chunk of ``k`` runs gets ``k × run_timeout``, and on expiry the
+        pool is killed, the stalled chunk fails (or retries) with kind
+        ``"timeout"``, the other in-flight chunks are requeued unharmed and
+        a fresh pool takes over.  Pass ``chunk_size=1`` for strict per-run
+        deadlines.  Serial execution cannot preempt a running scenario, so
+        the timeout is not enforced there.
+    retry:
+        A :class:`RetryPolicy`; ``None`` disables retries.  Failed runs of
+        a kind in ``retry_on`` re-execute (scenarios are pure functions of
+        their spec, so a retry that succeeds is indistinguishable from a
+        first-try success apart from ``RunOutcome.attempts``).
+    on_progress:
+        ``callback(completed, total)`` invoked as runs finish (also on
+        runs replayed from a checkpoint).  Throttled by
+        ``progress_interval`` seconds (``0`` emits on every completion); a
+        final emission is guaranteed.
     """
 
     def __init__(
@@ -178,6 +482,10 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         collect_stage_stats: bool = False,
         chunk_size: Optional[int] = None,
+        run_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        on_progress: Optional[Callable[[int, int], None]] = None,
+        progress_interval: float = 0.0,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -185,54 +493,357 @@ class ExperimentRunner:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError(f"run_timeout must be > 0, got {run_timeout}")
+        if progress_interval < 0:
+            raise ValueError(f"progress_interval must be >= 0, got {progress_interval}")
         self.max_workers = max_workers
         self.collect_stage_stats = collect_stage_stats
         self.chunk_size = chunk_size
+        self.run_timeout = run_timeout
+        self.retry = retry
+        self.on_progress = on_progress
+        self.progress_interval = progress_interval
         #: "serial" or "processes[N] chunks[M]" — how the last sweep ran.
         self.last_execution_mode: str = "serial"
 
     # ------------------------------------------------------------- execution
-    def run(self, specs: Sequence[RunSpec]) -> list[RunOutcome]:
-        """Execute all specs, returning outcomes in declaration order."""
+    def run(
+        self, specs: Sequence[RunSpec], checkpoint: Optional[str] = None
+    ) -> list[RunOutcome]:
+        """Execute all specs, returning outcomes in declaration order.
+
+        With ``checkpoint`` set, every completed outcome is appended to
+        that JSONL file as it finishes; an existing non-empty checkpoint is
+        refused (use :meth:`resume` to continue it, or delete the file to
+        start over).
+        """
         specs = list(specs)
+        if (
+            checkpoint is not None
+            and os.path.exists(checkpoint)
+            and os.path.getsize(checkpoint) > 0
+        ):
+            raise CheckpointError(
+                f"checkpoint {checkpoint!r} already holds outcomes; call "
+                "resume() to continue the sweep, or remove the file to restart"
+            )
+        return self._run(specs, checkpoint, {})
+
+    def resume(
+        self, specs: Sequence[RunSpec], checkpoint: str
+    ) -> list[RunOutcome]:
+        """Continue a checkpointed sweep, skipping already-finished specs.
+
+        Outcomes recorded in the checkpoint are loaded back (validated
+        against ``specs``); only the unfinished tail executes, appending to
+        the same file.  Because scenarios are pure functions of their
+        specs, the returned list is identical to what an uninterrupted
+        :meth:`run` would have produced.  A missing or empty checkpoint
+        degrades to a plain run.
+        """
+        specs = list(specs)
+        done = load_checkpoint(checkpoint, specs)
+        return self._run(specs, checkpoint, done)
+
+    def _run(
+        self,
+        specs: list[RunSpec],
+        checkpoint: Optional[str],
+        done: dict[int, RunOutcome],
+    ) -> list[RunOutcome]:
         previous_env = os.environ.get(STAGE_STATS_ENV)
         if self.collect_stage_stats:
             # Workers inherit the environment, so this propagates through
             # the process pool as well as the serial path.
             os.environ[STAGE_STATS_ENV] = "1"
+        writer = _CheckpointWriter(checkpoint) if checkpoint is not None else None
         try:
-            if self.max_workers == 1 or len(specs) <= 1:
+            results: dict[int, RunOutcome] = dict(done)
+            remaining = [
+                (index, spec)
+                for index, spec in enumerate(specs)
+                if index not in results
+            ]
+            progress = _ProgressTracker(
+                self.on_progress, self.progress_interval, len(specs), len(results)
+            )
+            if self.max_workers == 1 or len(remaining) <= 1:
                 self.last_execution_mode = "serial"
-                return [_execute(spec) for spec in specs]
-            chunks = self._chunk(specs)
-            try:
-                from repro.experiments.warmup import warm_worker_caches
-
-                with ProcessPoolExecutor(
-                    max_workers=self.max_workers, initializer=warm_worker_caches
-                ) as pool:
-                    # Chunks are contiguous slices, so flattening the chunk
-                    # results preserves declaration order.
-                    outcomes = [
-                        outcome
-                        for chunk_outcomes in pool.map(_execute_chunk, chunks)
-                        for outcome in chunk_outcomes
-                    ]
-                self.last_execution_mode = (
-                    f"processes[{self.max_workers}] chunks[{len(chunks)}]"
-                )
-                return outcomes
-            except Exception:  # pool creation/pickling failure: degrade gracefully
-                self.last_execution_mode = "serial (process pool unavailable)"
-                return [_execute(spec) for spec in specs]
+                self._run_serial(remaining, results, writer, progress)
+            else:
+                self._run_pool(remaining, results, writer, progress)
+            progress.finish()
+            return [results[index] for index in range(len(specs))]
         finally:
+            if writer is not None:
+                writer.close()
             if self.collect_stage_stats:
                 if previous_env is None:
                     os.environ.pop(STAGE_STATS_ENV, None)
                 else:
                     os.environ[STAGE_STATS_ENV] = previous_env
 
-    def _chunk(self, specs: list[RunSpec]) -> list[tuple[RunSpec, ...]]:
+    def _record(
+        self,
+        index: int,
+        outcome: RunOutcome,
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+    ) -> None:
+        results[index] = outcome
+        if writer is not None:
+            writer.append(index, outcome)
+        progress.advance()
+
+    def _execute_with_retry(self, spec: RunSpec) -> RunOutcome:
+        """Serial execution with the retry policy applied in-process."""
+        attempt = 1
+        while True:
+            outcome = _execute(spec)
+            outcome.attempts = attempt
+            if (
+                outcome.ok
+                or self.retry is None
+                or not self.retry.should_retry(outcome.error_kind, attempt)
+            ):
+                return outcome
+            time.sleep(self.retry.delay(spec.label, attempt))
+            attempt += 1
+
+    def _run_serial(
+        self,
+        remaining: list[tuple[int, RunSpec]],
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+    ) -> None:
+        for index, spec in remaining:
+            self._record(index, self._execute_with_retry(spec), results, writer, progress)
+
+    # ------------------------------------------------------------- pool engine
+    def _make_pool(self) -> ProcessPoolExecutor:
+        from repro.experiments.warmup import warm_worker_caches
+
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=warm_worker_caches
+        )
+
+    def _handle_chunk_failure(
+        self,
+        chunk: _Chunk,
+        kind: str,
+        requeue: "deque[_Chunk]",
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+    ) -> None:
+        """Retry a definitively-failed chunk, or materialise typed outcomes."""
+        if self.retry is not None and self.retry.should_retry(kind, chunk.attempt):
+            time.sleep(self.retry.delay(chunk.label, chunk.attempt))
+            requeue.append(_Chunk(chunk.items, chunk.attempt + 1))
+            return
+        if kind == "timeout":
+            message = (
+                f"run exceeded its {self.run_timeout}s deadline "
+                "(worker killed, pool respawned)"
+            )
+        else:
+            message = "worker process died (pool respawned)"
+        for index, spec in chunk.items:
+            self._record(
+                index,
+                RunOutcome(
+                    spec=spec, error=message, error_kind=kind, attempts=chunk.attempt
+                ),
+                results,
+                writer,
+                progress,
+            )
+
+    def _run_pool(
+        self,
+        remaining: list[tuple[int, RunSpec]],
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+    ) -> None:
+        """The resilient pool engine: deadlines, crash recovery, requeue.
+
+        Three queues: ``pending`` holds untouched chunks, ``in_flight``
+        maps submitted futures to ``(chunk, deadline)``, and ``quarantine``
+        holds chunks that were in flight when a pool broke.  A broken pool
+        cannot say which task killed it, so quarantined chunks re-execute
+        strictly one at a time — an innocent bystander simply completes,
+        while a chunk that breaks a pool it had to itself is the definitive
+        culprit and fails (or retries) with kind ``"worker-crash"``.
+        """
+        try:
+            pool = self._make_pool()
+        except Exception:  # pool creation failure: degrade gracefully
+            self.last_execution_mode = "serial (process pool unavailable)"
+            self._run_serial(remaining, results, writer, progress)
+            return
+        chunks = [_Chunk(tuple(slice_)) for slice_ in self._chunk(remaining)]
+        self.last_execution_mode = (
+            f"processes[{self.max_workers}] chunks[{len(chunks)}]"
+        )
+        pending: deque[_Chunk] = deque(chunks)
+        quarantine: deque[_Chunk] = deque()
+        in_flight: dict[Any, tuple[_Chunk, Optional[float]]] = {}
+
+        def submit(chunk: _Chunk) -> bool:
+            """Submit one chunk; False means the pool is already broken."""
+            try:
+                future = pool.submit(
+                    _execute_chunk, tuple(spec for _, spec in chunk.items)
+                )
+            except BrokenProcessPool:
+                quarantine.appendleft(chunk)
+                return False
+            except Exception:  # unpicklable chunk: run it in the driver
+                for index, spec in chunk.items:
+                    self._record(
+                        index,
+                        self._execute_with_retry(spec),
+                        results,
+                        writer,
+                        progress,
+                    )
+                return True
+            deadline = None
+            if self.run_timeout is not None:
+                deadline = time.monotonic() + self.run_timeout * len(chunk.items)
+            in_flight[future] = (chunk, deadline)
+            return True
+
+        def recover() -> Optional[ProcessPoolExecutor]:
+            """Kill the broken/stalled pool; survivors go to quarantine."""
+            _kill_pool(pool)
+            for _future, (chunk, _deadline) in reversed(list(in_flight.items())):
+                quarantine.appendleft(chunk)
+            in_flight.clear()
+            return self._respawn(pending, quarantine, results, writer, progress)
+
+        try:
+            while pending or quarantine or in_flight:
+                pool_broken = False
+                if quarantine:
+                    # Suspects run solo so a repeat crash has one suspect.
+                    if not in_flight:
+                        pool_broken = not submit(quarantine.popleft())
+                else:
+                    while pending and len(in_flight) < self.max_workers:
+                        if not submit(pending.popleft()):
+                            pool_broken = True
+                            break
+                if pool_broken:
+                    pool = recover()
+                    if pool is None:
+                        return
+                    continue
+                if not in_flight:
+                    continue
+                wait_timeout = None
+                if self.run_timeout is not None:
+                    now = time.monotonic()
+                    deadlines = [
+                        deadline
+                        for _chunk, deadline in in_flight.values()
+                        if deadline is not None
+                    ]
+                    if deadlines:
+                        wait_timeout = max(0.01, min(deadlines) - now)
+                completed, _running = wait(
+                    set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                if not completed:
+                    # Deadline sweep: a stalled worker holds its pool
+                    # hostage (ProcessPoolExecutor cannot cancel a running
+                    # task), so the whole pool is killed; expired chunks
+                    # fail or retry as timeouts, the rest are requeued at
+                    # their current attempt via the quarantine.
+                    now = time.monotonic()
+                    expired = {
+                        future
+                        for future, (_chunk, deadline) in in_flight.items()
+                        if deadline is not None and deadline <= now
+                    }
+                    if not expired:
+                        continue
+                    for future in expired:
+                        chunk, _deadline = in_flight.pop(future)
+                        self._handle_chunk_failure(
+                            chunk, "timeout", pending, results, writer, progress
+                        )
+                    pool = recover()
+                    if pool is None:
+                        return
+                    continue
+                flight_size = len(in_flight)
+                crashed = False
+                for future in completed:
+                    chunk, _deadline = in_flight.pop(future)
+                    try:
+                        outcomes = future.result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        if flight_size == 1:
+                            # It had the pool to itself: definitive culprit.
+                            self._handle_chunk_failure(
+                                chunk,
+                                "worker-crash",
+                                quarantine,
+                                results,
+                                writer,
+                                progress,
+                            )
+                        else:
+                            quarantine.appendleft(chunk)
+                    except Exception:  # worker-side dispatch failure
+                        crashed = True
+                        self._handle_chunk_failure(
+                            chunk, "worker-crash", quarantine, results, writer, progress
+                        )
+                    else:
+                        for (index, _spec), outcome in zip(chunk.items, outcomes):
+                            outcome.attempts = chunk.attempt
+                            self._record(index, outcome, results, writer, progress)
+                if crashed:
+                    # A broken pool takes every in-flight sibling with it.
+                    pool = recover()
+                    if pool is None:
+                        return
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    def _respawn(
+        self,
+        pending: "deque[_Chunk]",
+        quarantine: "deque[_Chunk]",
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+    ) -> Optional[ProcessPoolExecutor]:
+        """A fresh pool after a kill — or serial drain when none can start."""
+        try:
+            return self._make_pool()
+        except Exception:  # noqa: BLE001 - degrade, don't lose the sweep
+            self.last_execution_mode = "serial (process pool unavailable)"
+            leftovers = [
+                (index, spec)
+                for chunk in list(quarantine) + list(pending)
+                for index, spec in chunk.items
+            ]
+            quarantine.clear()
+            pending.clear()
+            self._run_serial(leftovers, results, writer, progress)
+            return None
+
+
+    def _chunk(self, specs: list) -> list[tuple]:
         """Slice the grid into contiguous worker tasks (see ``chunk_size``)."""
         size = self.chunk_size
         if size is None:

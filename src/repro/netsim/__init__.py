@@ -35,6 +35,17 @@ from repro.netsim.ipid import (
 from repro.netsim.udp import UDPDatagram, encode_udp, decode_udp, udp_checksum
 from repro.netsim.icmp import ICMPMessage, ICMPType, frag_needed
 from repro.netsim.datapath import DeliveryPipeline, HostDatapath, LinkProfile
+from repro.netsim.faults import (
+    Corruption,
+    Duplication,
+    FaultChannel,
+    FaultPlan,
+    FaultStats,
+    GilbertElliott,
+    LatencySpike,
+    Partition,
+    ReorderJitter,
+)
 from repro.netsim.host import Host, OSProfile
 from repro.netsim.sockets import UDPSocket
 from repro.netsim.network import Network, Link
@@ -68,6 +79,15 @@ __all__ = [
     "DeliveryPipeline",
     "HostDatapath",
     "LinkProfile",
+    "Corruption",
+    "Duplication",
+    "FaultChannel",
+    "FaultPlan",
+    "FaultStats",
+    "GilbertElliott",
+    "LatencySpike",
+    "Partition",
+    "ReorderJitter",
     "Host",
     "OSProfile",
     "UDPSocket",

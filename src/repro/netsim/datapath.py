@@ -127,6 +127,15 @@ class DeliveryPipeline:
     destinations with no registered host so repeat sends to the same
     unknown address stay one dict hit.
 
+    ``faults`` is ``None`` on every fault-free pair (the only value the
+    golden runs ever see).  When the link carries an active
+    :class:`~repro.netsim.faults.FaultPlan`, it is the network-owned
+    :class:`~repro.netsim.faults.FaultChannel` for this directed pair: the
+    transmit paths route each surviving packet through
+    ``faults.process(...)`` before scheduling, which is the *only* hook
+    the fault layer has into the hot path — one slot read per packet when
+    inactive.
+
     ``datapath``, ``burst_parse``, ``vector_verify``,
     ``burst_bookkeeping`` and ``addr_sum`` exist for the burst engine
     (:mod:`repro.netsim.burst`): a batched transmit needs to know which
@@ -154,6 +163,7 @@ class DeliveryPipeline:
         "vector_verify",
         "burst_bookkeeping",
         "addr_sum",
+        "faults",
     )
 
     def __init__(
@@ -166,6 +176,7 @@ class DeliveryPipeline:
         vector_verify: bool = False,
         burst_bookkeeping: bool = True,
         addr_sum: int = 0,
+        faults=None,
     ) -> None:
         self.latency = latency
         self.loss_probability = loss_probability
@@ -175,6 +186,7 @@ class DeliveryPipeline:
         self.vector_verify = vector_verify
         self.burst_bookkeeping = burst_bookkeeping
         self.addr_sum = addr_sum
+        self.faults = faults
 
 
 #: Cached pipeline for destinations that have no host (dropped on send).

@@ -31,3 +31,16 @@ class NoRouteError(NetSimError):
 
 class SimulationError(NetSimError):
     """The event loop was used incorrectly (e.g. scheduling in the past)."""
+
+
+class InvariantViolation(SimulationError):
+    """A strict-mode simulator invariant failed (see ``Simulator(strict=True)``).
+
+    Raised when heap monotonicity, event/cancellation accounting, or burst
+    atomicity is broken — conservation laws the chaos suite asserts under
+    arbitrary fault sequences.
+    """
+
+
+class FaultConfigError(NetSimError):
+    """A fault-injection component or plan was misconfigured."""

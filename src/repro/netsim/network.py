@@ -36,11 +36,13 @@ from repro.netsim.datapath import (
     compile_deliver,
 )
 from repro.netsim.errors import AddressError, NoRouteError, SimulationError
+from repro.netsim.faults import FaultChannel, FaultPlan, FaultStats
 from repro.netsim.host import Host, OSProfile
 from repro.netsim.ipid import IPIDAllocator
 from repro.netsim.packet import IPv4Packet
 from repro.netsim.simulator import Simulator, _BURST
 from repro.netsim.udp import _address_word_sum
+from repro.perf import STAGES, perf_counter
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,10 @@ class Link:
     #: Optional trust level; ``None`` means the default (full verification)
     #: profile.  See :class:`repro.netsim.datapath.LinkProfile`.
     profile: Optional[LinkProfile] = None
+    #: Optional fault plan; ``None`` (or an inert plan, normalised to
+    #: ``None`` by :meth:`Network.set_link_faults`) keeps the exact
+    #: fault-free fast paths.  See :mod:`repro.netsim.faults`.
+    faults: Optional[FaultPlan] = None
 
 
 #: Bound on the per-(src, dst) compiled-pipeline cache; src is attacker
@@ -101,6 +107,11 @@ class Network:
         #: tables): src is whatever the sender claims, so spoofing sweeps
         #: must not grow it unbounded.
         self._pipelines: dict[tuple[str, str], DeliveryPipeline] = {}
+        #: Per-directed-pair fault channels.  Owned here — NOT in the
+        #: pipeline cache — so Gilbert–Elliott chain state and the
+        #: channel RNG position survive pipeline invalidation (topology
+        #: edits, cache overflow from spoofing sweeps).
+        self._fault_channels: dict[tuple[str, str], FaultChannel] = {}
         self._captures: list[PacketCapture] = []
         self._rng = simulator.spawn_rng()
         self.packets_transmitted = 0
@@ -173,8 +184,52 @@ class Network:
                 loss_probability=current.loss_probability,
                 mtu=current.mtu,
                 profile=LinkProfile.trusted(),
+                faults=current.faults,
             ),
         )
+
+    # --------------------------------------------------------------- faults
+    def set_link_faults(self, ip_a: str, ip_b: str, *components) -> FaultPlan:
+        """Attach fault components to the link between two addresses.
+
+        Accepts either loose components (composed into a
+        :class:`~repro.netsim.faults.FaultPlan` here) or one pre-built
+        plan.  Keeps the link's latency/loss/MTU/profile and swaps in the
+        plan; an inert plan (every component zero-rate — including the
+        empty call, which clears faults) is normalised to ``None`` so the
+        link keeps the exact fault-free fast paths.  Replacing an active
+        plan resets the pair's channel state (chain states, RNG position,
+        stats) on next transmit; returns the composed plan.
+        """
+        if len(components) == 1 and isinstance(components[0], FaultPlan):
+            plan = components[0]
+        else:
+            plan = FaultPlan(*components)
+        current = self.link_between(ip_a, ip_b)
+        self.set_link(
+            ip_a,
+            ip_b,
+            Link(
+                latency=current.latency,
+                loss_probability=current.loss_probability,
+                mtu=current.mtu,
+                profile=current.profile,
+                faults=None if plan.is_inert else plan,
+            ),
+        )
+        return plan
+
+    def fault_channel(self, src: str, dst: str) -> Optional[FaultChannel]:
+        """The live channel for one directed pair (None until traffic flows
+        — channels materialise at first pipeline compile)."""
+        return self._fault_channels.get((src, dst))
+
+    def fault_stats(self) -> FaultStats:
+        """Aggregate fault counters across every channel in the network."""
+        total = FaultStats()
+        for channel in self._fault_channels.values():
+            total.merge(channel.stats)
+        return total
 
     # ------------------------------------------------------------ pipelines
     def pipeline_for(self, src: str, dst: str) -> DeliveryPipeline:
@@ -219,6 +274,19 @@ class Network:
                     # pair off the pre-parsed path so it still does.
                     vector_verify = False
                     burst_parse = False
+            channel = None
+            plan = link.faults
+            if plan is not None:
+                # Channels outlive the pipeline cache (state must survive
+                # invalidation); a *different* plan on the link means the
+                # experimenter replaced it — start a fresh channel.
+                channel = self._fault_channels.get((src, dst))
+                if channel is None or channel.plan is not plan:
+                    channel = FaultChannel(
+                        plan,
+                        self.simulator.spawn_named_rng(f"faults:{src}>{dst}"),
+                    )
+                    self._fault_channels[(src, dst)] = channel
             pipeline = DeliveryPipeline(
                 link.latency,
                 link.loss_probability,
@@ -228,6 +296,7 @@ class Network:
                 vector_verify=vector_verify,
                 burst_bookkeeping=profile.defrag_bookkeeping,
                 addr_sum=addr_sum,
+                faults=channel,
             )
         if len(self._pipelines) >= PIPELINE_CACHE_MAX_ENTRIES:
             self._pipelines.clear()
@@ -269,6 +338,12 @@ class Network:
         if pipeline.loss_probability > 0 and self._rng.random() < pipeline.loss_probability:
             self.packets_dropped += 1
             return
+        if pipeline.faults is not None:
+            # Faulted pair: off the inlined fast path onto the channel's
+            # slow path.  Base-loss draws above already came from the
+            # network RNG in their usual order, so fault-free pairs in the
+            # same run stay bit-identical.
+            return self._transmit_faulted(pipeline, packet)
         simulator = self.simulator
         if self._captures:
             now = simulator._now
@@ -318,12 +393,51 @@ class Network:
             if pipeline.loss_probability > 0 and rng_random() < pipeline.loss_probability:
                 self.packets_dropped += 1
                 continue
+            if pipeline.faults is not None:
+                self._transmit_faulted(pipeline, packet)
+                continue
             if captures:
                 for capture in captures:
                     capture.observe(packet, now)
             sequence = simulator._sequence
             simulator._sequence = sequence + 1
             heappush(queue, (now + pipeline.latency, sequence, deliver, packet))
+
+    def _transmit_faulted(self, pipeline: DeliveryPipeline, packet: IPv4Packet) -> None:
+        """Schedule one packet through a faulted pair's channel.
+
+        The event-for-event-equivalent slow path behind
+        :meth:`transmit` / :meth:`transmit_batch` for links carrying an
+        active fault plan: the channel decides drop / corrupt / delay /
+        duplicate, and each surviving delivery is scheduled as the exact
+        anonymous heap entry the fast path would have pushed (at the link
+        latency plus the fault-assigned extra delay).  Captures observe
+        the surviving deliveries — what actually travels the wire,
+        corrupted bytes and duplicates included — mirroring how the
+        fault-free path only observes packets that passed the loss draw.
+        """
+        simulator = self.simulator
+        if STAGES.enabled:
+            t0 = perf_counter()
+            deliveries = pipeline.faults.process(packet, simulator._now)
+            STAGES.add_many("faults", perf_counter() - t0, 1)
+        else:
+            deliveries = pipeline.faults.process(packet, simulator._now)
+        if not deliveries:
+            self.packets_dropped += 1
+            return
+        deliver = pipeline.deliver
+        latency = pipeline.latency
+        captures = self._captures
+        queue = simulator._queue
+        now = simulator._now
+        for extra, delivered in deliveries:
+            if captures:
+                for capture in captures:
+                    capture.observe(delivered, now)
+            sequence = simulator._sequence
+            simulator._sequence = sequence + 1
+            heappush(queue, (now + latency + extra, sequence, deliver, delivered))
 
     def transmit_burst(self, packets: Iterable[IPv4Packet]) -> None:
         """Deliver a burst through the coalesced burst engine.
@@ -376,6 +490,36 @@ class Network:
                     continue
                 if pipeline.loss_probability > 0 and rng_random() < pipeline.loss_probability:
                     dropped += 1
+                    continue
+                if pipeline.faults is not None:
+                    # Faulted pair: the channel's deliveries feed the same
+                    # grouping, so a corrupted copy landing at the group's
+                    # instant enters the DeliveryBurst and is rejected by
+                    # the *batched* checksum verify (falling back to the
+                    # scalar path, which counts the derived failure);
+                    # jittered/duplicated deliveries at other instants
+                    # split the group exactly as a latency change would.
+                    if STAGES.enabled:
+                        t0 = perf_counter()
+                        deliveries = pipeline.faults.process(packet, now)
+                        STAGES.add_many("faults", perf_counter() - t0, 1)
+                    else:
+                        deliveries = pipeline.faults.process(packet, now)
+                    if not deliveries:
+                        dropped += 1
+                        continue
+                    for extra, delivered in deliveries:
+                        if captures:
+                            for capture in captures:
+                                capture.observe(delivered, now)
+                        deliver_at = now + pipeline.latency + extra
+                        if group:
+                            if deliver_at == group_time and len(group) < MAX_DELIVERY_BURST:
+                                group.append((pipeline, delivered))
+                                continue
+                            flush(group, group_time)
+                        group = [(pipeline, delivered)]
+                        group_time = deliver_at
                     continue
                 if captures:
                     for capture in captures:

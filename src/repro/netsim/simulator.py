@@ -64,7 +64,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.netsim.errors import SimulationError
+from repro.netsim.errors import InvariantViolation, SimulationError
 from repro.perf import STAGES, perf_counter
 
 #: Heap-entry discriminator: fourth tuple element of cancellable entries.
@@ -168,6 +168,14 @@ class Simulator:
         Seed for the simulation-wide random generator.  Components that need
         their own stream should call :meth:`spawn_rng` so their draws do not
         perturb each other when the topology changes.
+    strict:
+        Opt-in invariant guards for the chaos/fault-injection suites.  The
+        run loops verify heap monotonicity per pop and the full
+        event/cancellation accounting (:meth:`check_invariants`) on every
+        loop exit, raising :class:`~repro.netsim.errors.InvariantViolation`
+        on the first broken conservation law.  Strict runs dispatch through
+        one generic guarded loop — semantics are identical to the fast
+        loops (pinned by the strict-equivalence tests), only slower.
     """
 
     __slots__ = (
@@ -180,9 +188,10 @@ class Simulator:
         "_spawned",
         "events_processed",
         "bursts_posted",
+        "strict",
     )
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, strict: bool = False) -> None:
         # Heap of 4-tuples (see module docstring): tuple comparison keeps
         # heap operations in C and never falls through to the third element
         # because sequence numbers are unique.
@@ -199,6 +208,7 @@ class Simulator:
         #: counts burst members individually; this counter exposes how much
         #: coalescing the run actually achieved.
         self.bursts_posted = 0
+        self.strict = strict
 
     @property
     def now(self) -> float:
@@ -218,6 +228,19 @@ class Simulator:
         """
         self._spawned += 1
         return np.random.default_rng((self._seed, self._spawned))
+
+    def spawn_named_rng(self, name: str) -> np.random.Generator:
+        """An independent generator derived from the seed and a stable name.
+
+        Unlike :meth:`spawn_rng`, this does not consume a slot in the
+        spawn sequence: the stream is a pure function of ``(seed, name)``,
+        so attaching an optional component (a fault channel, a probe)
+        cannot shift the draws of components spawned afterwards — which is
+        what lets a zero-fault configuration stay bit-identical to a
+        fault-free one.  Distinct names yield independent streams; calling
+        twice with one name restarts the same stream.
+        """
+        return np.random.default_rng((self._seed, *name.encode("utf-8")))
 
     def schedule(
         self,
@@ -344,6 +367,56 @@ class Simulator:
         """
         return self._sequence - self.events_processed - self._cancelled
 
+    def check_invariants(self) -> None:
+        """Verify the simulator's conservation laws, raising on violation.
+
+        Walks the heap and checks, in order:
+
+        * **Causality** — no queued entry's time precedes the clock.
+        * **Accounting balance** — every sequence number ever allocated is
+          either executed, cancelled, or still live in the heap (bursts
+          count ``count`` members):
+          ``events_processed + cancelled + live == scheduled``.
+        * **Pending consistency** — :meth:`pending` equals the live count
+          and is non-negative.
+
+        Cheap enough to call per assertion in tests but O(heap), so the
+        strict loop runs it on loop exit, not per event.  Raises
+        :class:`~repro.netsim.errors.InvariantViolation` with the broken
+        law spelled out.
+        """
+        now = self._now
+        live = 0
+        for time_, _sequence, target, arg in self._queue:
+            if time_ < now:
+                raise InvariantViolation(
+                    f"causality broken: queued entry at t={time_} behind clock t={now}"
+                )
+            if arg is _EVENT:
+                if not target.cancelled:
+                    live += 1
+            elif arg is _BURST:
+                count = target.count
+                if count <= 0:
+                    raise InvariantViolation(
+                        f"queued burst entry with non-positive count {count}"
+                    )
+                live += count
+            else:
+                live += 1
+        balance = self.events_processed + self._cancelled + live
+        if balance != self._sequence:
+            raise InvariantViolation(
+                "event accounting does not balance: "
+                f"processed={self.events_processed} + cancelled={self._cancelled} "
+                f"+ live={live} == {balance} != scheduled={self._sequence}"
+            )
+        queued = self.pending()
+        if queued != live or queued < 0:
+            raise InvariantViolation(
+                f"pending()={queued} disagrees with live heap count {live}"
+            )
+
     def step(self) -> Optional[Event]:
         """Process the next event, returning it, or None if the queue is empty.
 
@@ -357,6 +430,10 @@ class Simulator:
         queue = self._queue
         while queue:
             time_, sequence, target, arg = heappop(queue)
+            if self.strict and time_ < self._now:
+                raise InvariantViolation(
+                    f"heap monotonicity broken: popped t={time_} behind clock t={self._now}"
+                )
             if arg is _EVENT:
                 event = target
                 if event.cancelled:
@@ -398,6 +475,11 @@ class Simulator:
         Returns the number of events processed by this call (burst entries
         count each of their members).
         """
+        if self.strict:
+            # Strict runs take one generic guarded loop (monotonicity per
+            # pop, burst atomicity per entry, full accounting on exit) —
+            # semantically identical to the fast loops, just slower.
+            return self._run_strict(until, max_events)
         if STAGES.enabled:
             # Attribution runs route through the instrumented twin; the hot
             # loops below stay free of timing code.
@@ -577,6 +659,72 @@ class Simulator:
                 STAGES.add_many("heap", t_heap, pops)
         if until is not None and not queue:
             self._now = max(self._now, until)
+        return processed
+
+    def _run_strict(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> int:
+        """The invariant-guarded twin of :meth:`run` (``strict=True``).
+
+        One generic bounded loop — dispatch semantics identical to the fast
+        loops — that additionally asserts heap monotonicity on every pop
+        and burst atomicity on every burst entry, then runs the full
+        :meth:`check_invariants` accounting sweep when the loop exits
+        cleanly.  Guards raise
+        :class:`~repro.netsim.errors.InvariantViolation`.
+        """
+        queue = self._queue
+        processed = 0
+        try:
+            while queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                head = queue[0]
+                if head[3] is _EVENT and head[2].cancelled:
+                    heappop(queue)
+                    continue
+                if until is not None and head[0] > until:
+                    if until > self._now:
+                        self._now = until
+                    break
+                time_, _sequence, target, arg = heappop(queue)
+                if time_ < self._now:
+                    raise InvariantViolation(
+                        f"heap monotonicity broken: popped t={time_} "
+                        f"behind clock t={self._now}"
+                    )
+                self._now = time_
+                if arg is _EVENT:
+                    target._sim = None  # executed: late cancel() is a no-op
+                    if target.args:
+                        target.callback(*target.args)
+                    else:
+                        target.callback()
+                    processed += 1
+                elif arg is _NO_ARG:
+                    target()
+                    processed += 1
+                elif arg is _BURST:
+                    count = target.count
+                    if count <= 0:
+                        raise InvariantViolation(
+                            f"burst entry with non-positive count {count}"
+                        )
+                    target.run()
+                    if target.count != count:
+                        raise InvariantViolation(
+                            "burst atomicity broken: count changed from "
+                            f"{count} to {target.count} during run()"
+                        )
+                    processed += count
+                else:
+                    target(arg)
+                    processed += 1
+        finally:
+            self.events_processed += processed
+        if until is not None and not queue:
+            self._now = max(self._now, until)
+        self.check_invariants()
         return processed
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> int:

@@ -48,8 +48,10 @@ PIPELINE_STAGES = ("defrag", "checksum", "demux", "handler")
 #: by the burst-execution engine: ``heap`` is the measured heap-pop share
 #: of the simulator drain (a lower bound — pushes happen inside callbacks),
 #: ``burst_drain`` the delivery-burst bookkeeping (grouping plus the
-#: vectorised checksum verify; see :mod:`repro.netsim.burst`).
-DISPATCH_STAGES = ("heap", "burst_drain")
+#: vectorised checksum verify; see :mod:`repro.netsim.burst`), and
+#: ``faults`` the per-packet fault-channel decisions on faulted links
+#: (zero on every fault-free run; see :mod:`repro.netsim.faults`).
+DISPATCH_STAGES = ("heap", "burst_drain", "faults")
 
 #: Prune threshold for the attached-source registry (dead weakrefs).
 _ATTACH_PRUNE_THRESHOLD = 4096

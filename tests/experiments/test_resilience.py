@@ -1,0 +1,347 @@
+"""Resilience tests: timeouts, retries, crash recovery, checkpointed sweeps.
+
+Marked ``chaos`` alongside the fault-model property suite — ``make chaos``
+runs both.  Worker-killing tests rely on the ``fork`` start method (the
+Linux default), under which scenarios registered at test-module import are
+visible inside pool workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments import (
+    CheckpointError,
+    ERROR_KINDS,
+    ExperimentRunner,
+    RetryPolicy,
+    RunSpec,
+    load_checkpoint,
+    make_grid,
+    scenario,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@scenario("_test_res_square")
+def _test_res_square(x: int = 2) -> int:
+    return x * x
+
+
+@scenario("_test_res_fail")
+def _test_res_fail() -> None:
+    raise RuntimeError("always fails")
+
+
+@scenario("_test_res_flaky")
+def _test_res_flaky(marker: str = "", fail_times: int = 1, x: int = 7) -> int:
+    """Fails the first ``fail_times`` attempts, then succeeds.
+
+    Cross-attempt state lives in the ``marker`` file so the scenario stays
+    a picklable top-level function.
+    """
+    attempts = 0
+    if os.path.exists(marker):
+        with open(marker) as handle:
+            attempts = int(handle.read() or 0)
+    attempts += 1
+    with open(marker, "w") as handle:
+        handle.write(str(attempts))
+    if attempts <= fail_times:
+        raise RuntimeError(f"flaky attempt {attempts}")
+    return x
+
+
+@scenario("_test_res_crash")
+def _test_res_crash() -> None:
+    os._exit(17)  # simulate OOM-kill / segfault: no exception, no cleanup
+
+
+@scenario("_test_res_sleep")
+def _test_res_sleep(seconds: float = 30.0, x: int = 0) -> int:
+    time.sleep(seconds)
+    return x
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_max=1.0)
+        first = policy.delay("table2[seed=5]", 1)
+        assert first == policy.delay("table2[seed=5]", 1)  # pure function
+        assert 0.09 <= first <= 0.11  # ±10% jitter around 0.1
+        second = policy.delay("table2[seed=5]", 2)
+        assert 0.18 <= second <= 0.22
+        assert policy.delay("table2[seed=5]", 10) <= 1.0 * 1.1  # capped
+        assert policy.delay("other-label", 1) != first  # label feeds jitter
+
+    def test_should_retry_respects_kinds_and_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry("worker-crash", 1)
+        assert policy.should_retry("timeout", 2)
+        assert not policy.should_retry("timeout", 3)  # attempts exhausted
+        assert not policy.should_retry("scenario-error", 1)  # deterministic
+        assert not policy.should_retry(None, 1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retry_on=("cosmic-rays",))
+        assert "scenario-error" in ERROR_KINDS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_fraction=1.5)
+
+
+class TestErrorTaxonomy:
+    def test_scenario_error_kind(self):
+        outcome = ExperimentRunner(max_workers=1).run(
+            [RunSpec.make("_test_res_fail")]
+        )[0]
+        assert not outcome.ok
+        assert outcome.error_kind == "scenario-error"
+        assert outcome.attempts == 1
+        assert "always fails" in outcome.error
+
+    def test_success_has_no_kind(self):
+        outcome = ExperimentRunner(max_workers=1).run(
+            [RunSpec.make("_test_res_square", x=4)]
+        )[0]
+        assert outcome.ok and outcome.error_kind is None
+
+
+class TestSerialRetry:
+    def test_flaky_scenario_recovers(self, tmp_path):
+        marker = str(tmp_path / "flaky")
+        runner = ExperimentRunner(
+            max_workers=1,
+            retry=RetryPolicy(
+                max_attempts=3,
+                backoff_base=0.0,
+                retry_on=("scenario-error",),
+            ),
+        )
+        outcome = runner.run(
+            [RunSpec.make("_test_res_flaky", marker=marker, fail_times=1, x=9)]
+        )[0]
+        assert outcome.ok
+        assert outcome.result == 9
+        assert outcome.attempts == 2
+
+    def test_exhausted_retries_keep_last_failure(self, tmp_path):
+        marker = str(tmp_path / "flaky")
+        runner = ExperimentRunner(
+            max_workers=1,
+            retry=RetryPolicy(
+                max_attempts=2, backoff_base=0.0, retry_on=("scenario-error",)
+            ),
+        )
+        outcome = runner.run(
+            [RunSpec.make("_test_res_flaky", marker=marker, fail_times=5)]
+        )[0]
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.error_kind == "scenario-error"
+
+    def test_default_policy_does_not_retry_scenario_errors(self, tmp_path):
+        marker = str(tmp_path / "flaky")
+        runner = ExperimentRunner(max_workers=1, retry=RetryPolicy(backoff_base=0.0))
+        outcome = runner.run(
+            [RunSpec.make("_test_res_flaky", marker=marker, fail_times=1)]
+        )[0]
+        assert not outcome.ok and outcome.attempts == 1
+
+
+class TestWorkerCrash:
+    def test_crash_is_typed_and_pool_recovers(self):
+        specs = [
+            RunSpec.make("_test_res_square", x=1),
+            RunSpec.make("_test_res_crash"),
+            RunSpec.make("_test_res_square", x=3),
+            RunSpec.make("_test_res_square", x=4),
+        ]
+        runner = ExperimentRunner(max_workers=2, chunk_size=1)
+        outcomes = runner.run(specs)
+        by_label = {o.spec.label: o for o in outcomes}
+        crash = by_label["_test_res_crash"]
+        assert not crash.ok
+        assert crash.error_kind == "worker-crash"
+        # Every other spec survived the respawn (event-for-event results).
+        assert by_label["_test_res_square[x=1]"].result == 1
+        assert by_label["_test_res_square[x=3]"].result == 9
+        assert by_label["_test_res_square[x=4]"].result == 16
+        assert len(outcomes) == 4
+
+    def test_crash_retry_counts_attempts(self):
+        runner = ExperimentRunner(
+            max_workers=2,
+            chunk_size=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        outcomes = runner.run(
+            [RunSpec.make("_test_res_crash"), RunSpec.make("_test_res_square", x=2)]
+        )
+        crash = next(o for o in outcomes if o.spec.scenario == "_test_res_crash")
+        assert crash.error_kind == "worker-crash"
+        assert crash.attempts == 2  # retried once, crashed again
+        ok = next(o for o in outcomes if o.spec.scenario == "_test_res_square")
+        assert ok.result == 4
+
+
+class TestRunTimeout:
+    def test_stalled_run_times_out_and_others_complete(self):
+        specs = [
+            RunSpec.make("_test_res_sleep", seconds=30.0, x=1),
+            RunSpec.make("_test_res_square", x=5),
+            RunSpec.make("_test_res_square", x=6),
+        ]
+        runner = ExperimentRunner(max_workers=2, chunk_size=1, run_timeout=1.0)
+        start = time.monotonic()
+        outcomes = runner.run(specs)
+        elapsed = time.monotonic() - start
+        assert elapsed < 15.0  # did not wait out the 30s sleep
+        stalled = next(o for o in outcomes if o.spec.scenario == "_test_res_sleep")
+        assert not stalled.ok
+        assert stalled.error_kind == "timeout"
+        squares = sorted(
+            o.result for o in outcomes if o.spec.scenario == "_test_res_square"
+        )
+        assert squares == [25, 36]
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(run_timeout=0.0)
+
+
+class TestProgress:
+    def test_progress_emitted_per_completion(self):
+        seen = []
+        runner = ExperimentRunner(
+            max_workers=1, on_progress=lambda done, total: seen.append((done, total))
+        )
+        runner.run(make_grid("_test_res_square", x=[1, 2, 3]))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_throttled_but_final_guaranteed(self):
+        seen = []
+        runner = ExperimentRunner(
+            max_workers=1,
+            on_progress=lambda done, total: seen.append((done, total)),
+            progress_interval=3600.0,  # swallow every intermediate emission
+        )
+        runner.run(make_grid("_test_res_square", x=[1, 2, 3]))
+        assert seen[-1] == (3, 3)
+        assert len(seen) <= 2
+
+
+class TestCheckpointing:
+    def grid(self):
+        return make_grid("_test_res_square", x=list(range(6)))
+
+    def test_checkpoint_lines_written_per_outcome(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = self.grid()
+        outcomes = ExperimentRunner(max_workers=1).run(specs, checkpoint=path)
+        with open(path) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert len(lines) == len(specs)
+        assert {entry["index"] for entry in lines} == set(range(len(specs)))
+        for entry in lines:
+            assert set(entry) >= {
+                "index",
+                "spec",
+                "result",
+                "wall_time",
+                "error",
+                "error_kind",
+                "attempts",
+            }
+        assert [o.result for o in outcomes] == [x * x for x in range(6)]
+
+    def test_run_refuses_existing_checkpoint(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = self.grid()
+        ExperimentRunner(max_workers=1).run(specs, checkpoint=path)
+        with pytest.raises(CheckpointError):
+            ExperimentRunner(max_workers=1).run(specs, checkpoint=path)
+
+    def test_killed_then_resumed_equals_uninterrupted(self, tmp_path):
+        specs = self.grid()
+        uninterrupted = ExperimentRunner(max_workers=1).run(specs)
+
+        # Simulate a sweep killed partway: keep the first 3 checkpoint
+        # lines (plus a torn partial line from the kill mid-write).
+        full_path = str(tmp_path / "full.jsonl")
+        ExperimentRunner(max_workers=1).run(specs, checkpoint=full_path)
+        with open(full_path) as handle:
+            lines = handle.readlines()
+        partial_path = str(tmp_path / "partial.jsonl")
+        with open(partial_path, "w") as handle:
+            handle.writelines(lines[:3])
+            handle.write(lines[3][: len(lines[3]) // 2])  # torn tail
+
+        executed = []
+        seen = []
+        runner = ExperimentRunner(
+            max_workers=1, on_progress=lambda done, total: seen.append((done, total))
+        )
+        resumed = runner.resume(specs, checkpoint=partial_path)
+        assert [(o.spec, o.result, o.error, o.error_kind) for o in resumed] == [
+            (o.spec, o.result, o.error, o.error_kind) for o in uninterrupted
+        ]
+        # Only the unfinished tail re-executed: 3 new completions on top of
+        # the 3 replayed, ending at the full total.
+        assert seen == [(4, 6), (5, 6), (6, 6)]
+        # And the checkpoint now covers the whole sweep: a second resume
+        # replays everything without executing anything.
+        again = ExperimentRunner(max_workers=1).resume(specs, checkpoint=partial_path)
+        assert [o.result for o in again] == [o.result for o in uninterrupted]
+
+    def test_resume_of_missing_checkpoint_degrades_to_run(self, tmp_path):
+        path = str(tmp_path / "fresh.jsonl")
+        outcomes = ExperimentRunner(max_workers=1).resume(
+            self.grid(), checkpoint=path
+        )
+        assert [o.result for o in outcomes] == [x * x for x in range(6)]
+        assert os.path.exists(path)
+
+    def test_checkpoint_spec_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        ExperimentRunner(max_workers=1).run(self.grid(), checkpoint=path)
+        other = make_grid("_test_res_square", x=[99, 98, 97, 96, 95, 94])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, other)
+        with pytest.raises(CheckpointError):
+            ExperimentRunner(max_workers=1).resume(other, checkpoint=path)
+
+    def test_checkpoint_index_out_of_range_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        ExperimentRunner(max_workers=1).run(self.grid(), checkpoint=path)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path, self.grid()[:2])
+
+    def test_failures_checkpoint_and_replay(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [RunSpec.make("_test_res_fail"), RunSpec.make("_test_res_square", x=3)]
+        first = ExperimentRunner(max_workers=1).run(specs, checkpoint=path)
+        replayed = ExperimentRunner(max_workers=1).resume(specs, checkpoint=path)
+        assert replayed[0].error == first[0].error
+        assert replayed[0].error_kind == "scenario-error"
+        assert replayed[1].result == 9
+
+    def test_pool_mode_checkpoint_resume(self, tmp_path):
+        """Checkpoints work under process fan-out, not just serially."""
+        path = str(tmp_path / "sweep.jsonl")
+        specs = make_grid(
+            "table3_probabilities", trials=[10_000], m_max=[2, 3, 4, 5]
+        )
+        uninterrupted = ExperimentRunner(max_workers=2).run(specs)
+        ExperimentRunner(max_workers=2).run(specs, checkpoint=path)
+        resumed = ExperimentRunner(max_workers=2).resume(specs, checkpoint=path)
+        assert [o.result for o in resumed] == [o.result for o in uninterrupted]
