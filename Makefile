@@ -9,12 +9,19 @@
 #   make bench-burst   quick burst-engine microbenchmarks only (delivery
 #                      bursts + bulk rate-limiter accounting, JSON output)
 #   make chaos         fault-injection / resilience property suite only
-#                      (the `chaos`-marked tests, which `make test` also runs)
+#                      (the `chaos`-marked tests, which `make test` also runs;
+#                      includes the kill -9 crash-injection harness)
+#   make regression-trend  regression gate in trend-aware mode: compares
+#                      against the rolling .bench_history/ window and
+#                      records the fresh sample when it passes
+#   make store-fsck    validate every run store in the repo (experiment
+#                      sweeps under runs/ plus the bench history) — scans
+#                      segments for torn/corrupt records; STORE=dir for one
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test regression bench bench-refresh bench-burst chaos
+.PHONY: test regression regression-trend bench bench-refresh bench-burst chaos store-fsck
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +31,17 @@ chaos:
 
 regression:
 	$(PYTHON) benchmarks/check_regression.py
+
+regression-trend:
+	$(PYTHON) benchmarks/check_regression.py --history
+
+store-fsck:
+	@if [ -n "$(STORE)" ]; then \
+		$(PYTHON) -m repro.experiments.store fsck "$(STORE)"; \
+	else \
+		$(PYTHON) -m repro.experiments.store fsck runs --allow-missing && \
+		$(PYTHON) -m repro.experiments.store fsck .bench_history --allow-missing; \
+	fi
 
 bench: test regression
 

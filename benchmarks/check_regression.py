@@ -11,12 +11,24 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py
         [--baseline PATH] [--threshold 0.2] [--rounds N] [--allow-missing]
+        [--history [DIR]] [--history-window N] [--history-min N]
 
 A missing baseline is a typed, actionable error (exit code 2) unless
 ``--allow-missing`` is passed for fresh checkouts; a baseline whose schema
 does not match :data:`EXPECTED_SCHEMA` always is.  Scheduler-noise-prone
 microbenchmarks carry individual :data:`NOISE_BANDS` wider than the default
 threshold so run-to-run wobble does not read as a regression.
+
+With ``--history`` the gate is **trend-aware**: each metric compares
+against the median of a rolling window of prior samples kept in a
+:class:`repro.experiments.store.RunStore` under ``.bench_history/``, and
+the noise band widens to the window's own observed spread
+(``max(static band, 2.5 × pstdev/median)``, capped at 50%) — so one lucky
+committed number can neither pin an unreachable bar nor hide a slow
+drift.  Metrics with fewer than ``--history-min`` samples fall back to
+the single-baseline compare, and a passing gate appends the fresh sample
+to the window (``run_benchmarks.py`` does the same after refreshing the
+committed JSON).
 
 ``run_benchmarks.py`` wires this in automatically: after refreshing the JSON
 it diffs the new document against the previously committed one and fails the
@@ -28,12 +40,29 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import sys
+import time
 from typing import Any, Optional
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+#: Where the trend gate keeps its rolling metric history (a RunStore).
+DEFAULT_HISTORY_DIR = os.path.join(REPO_ROOT, ".bench_history")
+
+#: The store sweep id the history samples live under.
+HISTORY_SWEEP = "bench"
+
+#: Default rolling-window length and the minimum samples before a metric
+#: switches from single-baseline to trend comparison.
+DEFAULT_HISTORY_WINDOW = 10
+DEFAULT_HISTORY_MIN = 3
+
+#: Trend band = max(static band, _SPREAD_SIGMA × pstdev/median), capped.
+_SPREAD_SIGMA = 2.5
+_MAX_TREND_BAND = 0.50
 
 #: Headline higher-is-better metrics, as key paths into the bench document.
 THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
@@ -175,6 +204,128 @@ def compare(
     return regressions, notes
 
 
+# ------------------------------------------------------------ trend-aware gate
+def collect_history(
+    root: str = DEFAULT_HISTORY_DIR, window: int = DEFAULT_HISTORY_WINDOW
+) -> list[dict[str, Any]]:
+    """The most recent ``window`` metric samples from the history store."""
+    from repro.experiments.store import RunStore
+
+    store = RunStore(root)
+    if HISTORY_SWEEP not in store.sweeps():
+        return []
+    samples = [
+        record
+        for record in store.records(HISTORY_SWEEP)
+        if isinstance(record.get("metrics"), dict)
+    ]
+    return samples[-window:] if window > 0 else samples
+
+
+def append_history(
+    fresh: dict[str, Any], root: str = DEFAULT_HISTORY_DIR
+) -> dict[str, float]:
+    """Durably record one bench document's headline metrics in the store."""
+    from repro.experiments.store import RunStore, git_revision
+
+    metrics: dict[str, float] = {}
+    for path in THROUGHPUT_METRICS:
+        value = extract(fresh, path)
+        if value is not None:
+            metrics[".".join(path)] = value
+    store = RunStore(root)
+    if HISTORY_SWEEP in store.sweeps():
+        writer = store.open_sweep(HISTORY_SWEEP)
+    else:
+        writer = store.begin_sweep("bench", sweep_id=HISTORY_SWEEP)
+    try:
+        writer.append_record(
+            {
+                "kind": "bench-sample",
+                "metrics": metrics,
+                "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                "git_revision": git_revision(),
+            }
+        )
+    finally:
+        writer.close()
+    return metrics
+
+
+def _metric_samples(history: list[dict[str, Any]], name: str) -> list[float]:
+    values: list[float] = []
+    for sample in history:
+        value = sample["metrics"].get(name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values.append(float(value))
+    return values
+
+
+def trend_compare(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    history: list[dict[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_samples: int = DEFAULT_HISTORY_MIN,
+) -> tuple[list[str], list[str]]:
+    """Diff ``fresh`` against the rolling history; ``(regressions, notes)``.
+
+    Each metric compares against the **median** of its history window,
+    with a noise band widened to the window's own observed run-to-run
+    spread — a metric that wobbles 15% between identical runs gets at
+    least a 37.5% band (2.5σ), while a rock-steady one keeps its static
+    band.  Metrics with fewer than ``min_samples`` recorded samples fall
+    back to the single-baseline rule of :func:`compare`.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path in THROUGHPUT_METRICS:
+        name = ".".join(path)
+        static_band = NOISE_BANDS.get(name, threshold)
+        new = extract(fresh, path)
+        if new is None:
+            notes.append(f"skipped {name} (missing in fresh run)")
+            continue
+        values = _metric_samples(history, name)
+        if len(values) < min_samples:
+            old = extract(baseline, path)
+            if old is None or old <= 0:
+                notes.append(
+                    f"skipped {name} (missing in baseline, "
+                    f"{len(values)} history sample(s))"
+                )
+                continue
+            change = (new - old) / old
+            if change < -static_band:
+                regressions.append(
+                    f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
+                    f"noise band -{static_band:.0%}, single baseline — only "
+                    f"{len(values)} history sample(s))"
+                )
+            else:
+                notes.append(
+                    f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
+                    "single baseline)"
+                )
+            continue
+        median = statistics.median(values)
+        if median <= 0:
+            notes.append(f"skipped {name} (non-positive trend median)")
+            continue
+        spread = statistics.pstdev(values) / median
+        band = min(_MAX_TREND_BAND, max(static_band, _SPREAD_SIGMA * spread))
+        change = (new - median) / median
+        line = (
+            f"{name}: median[{len(values)}] {median:,.0f} -> {new:,.0f} "
+            f"({change:+.1%}, trend band -{band:.0%})"
+        )
+        if change < -band:
+            regressions.append(line)
+        else:
+            notes.append(line)
+    return regressions, notes
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -195,6 +346,33 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--allow-missing",
         action="store_true",
         help="exit 0 when no baseline exists (fresh checkouts / first run)",
+    )
+    parser.add_argument(
+        "--history",
+        nargs="?",
+        const=DEFAULT_HISTORY_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "trend-aware mode: compare against the rolling sample window in "
+            "this run store (default .bench_history/) and record the fresh "
+            "sample when the gate passes"
+        ),
+    )
+    parser.add_argument(
+        "--history-window",
+        type=int,
+        default=DEFAULT_HISTORY_WINDOW,
+        help=f"rolling window length (default {DEFAULT_HISTORY_WINDOW})",
+    )
+    parser.add_argument(
+        "--history-min",
+        type=int,
+        default=DEFAULT_HISTORY_MIN,
+        help=(
+            "samples required before a metric trusts its trend instead of "
+            f"the single baseline (default {DEFAULT_HISTORY_MIN})"
+        ),
     )
     args = parser.parse_args(argv)
     try:
@@ -230,7 +408,21 @@ def main(argv: Optional[list[str]] = None) -> int:
         },
         "microbenchmarks": micro,
     }
-    regressions, notes = compare(baseline, fresh, threshold=args.threshold)
+    if args.history is not None:
+        history = collect_history(args.history, args.history_window)
+        print(
+            f"trend gate: {len(history)} history sample(s) in {args.history} "
+            f"(window {args.history_window}, min {args.history_min})"
+        )
+        regressions, notes = trend_compare(
+            baseline,
+            fresh,
+            history,
+            threshold=args.threshold,
+            min_samples=args.history_min,
+        )
+    else:
+        regressions, notes = compare(baseline, fresh, threshold=args.threshold)
     for note in notes:
         print(f"  ok: {note}")
     for regression in regressions:
@@ -238,6 +430,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     if regressions:
         print(f"{len(regressions)} metric(s) regressed beyond {args.threshold:.0%}")
         return 1
+    if args.history is not None:
+        append_history(fresh, args.history)
+        print(f"recorded fresh sample into {args.history}")
     print("no throughput regressions")
     return 0
 

@@ -268,6 +268,15 @@ def main(argv: list[str] | None = None) -> int:
         },
     )
     print(f"wrote {args.output}")
+    try:
+        # Feed the trend gate's rolling window (best-effort: a read-only
+        # checkout must not fail the benchmark run over bookkeeping).
+        from check_regression import DEFAULT_HISTORY_DIR, append_history
+
+        append_history(document, DEFAULT_HISTORY_DIR)
+        print(f"recorded sample into {DEFAULT_HISTORY_DIR}")
+    except Exception as exc:  # noqa: BLE001 - history is advisory
+        print(f"note: could not record bench history ({exc})")
     speedup = document["microbenchmarks"]["event_loop"]["delivery"]["speedup"]
     print(f"event-loop delivery speedup vs seed: {speedup}x")
     return 0

@@ -11,6 +11,11 @@ scenario × seed).  This package provides:
 * :mod:`repro.experiments.scenarios` — a registry of named, picklable
   scenario functions (workers resolve scenarios by name, so no callables or
   classes ever cross the process boundary).
+* :mod:`repro.experiments.store` — a durable, append-only run store
+  (:class:`~repro.experiments.store.RunStore`): atomically-committed sweep
+  manifests, fsynced JSONL segments, torn-record repair, ``fsck`` and
+  compaction, and the metric-history API behind the trend-aware
+  regression gate.
 * :func:`~repro.experiments.runner.write_bench_json` — persists
   machine-readable timings to ``BENCH_netsim.json`` so successive PRs have a
   performance trajectory to compare against.
@@ -25,26 +30,44 @@ from repro.experiments.runner import (
     RetryPolicy,
     RunOutcome,
     RunSpec,
+    SweepCancelled,
     load_checkpoint,
     make_grid,
     outcomes_table,
     write_bench_json,
 )
 from repro.experiments.scenarios import SCENARIOS, get_scenario, scenario
+from repro.experiments.store import (
+    FsckReport,
+    RepairEvent,
+    RunStore,
+    StoreError,
+    SweepWriter,
+    repair_segment,
+    scan_records,
+)
 from repro.experiments.warmup import warm_worker_caches
 
 __all__ = [
     "CheckpointError",
     "ERROR_KINDS",
     "ExperimentRunner",
+    "FsckReport",
+    "RepairEvent",
     "RetryPolicy",
     "RunOutcome",
     "RunSpec",
+    "RunStore",
     "SCENARIOS",
+    "StoreError",
+    "SweepCancelled",
+    "SweepWriter",
     "get_scenario",
     "load_checkpoint",
     "make_grid",
     "outcomes_table",
+    "repair_segment",
+    "scan_records",
     "scenario",
     "warm_worker_caches",
     "write_bench_json",

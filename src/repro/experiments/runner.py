@@ -12,27 +12,39 @@ boundary — workers resolve the scenario function from the registry in
 the usual pickling pitfalls (lambdas, locally defined classes, bound
 methods).
 
-Resilience (the fault-injection PR's second half): sweeps survive the
-failures that long population-scale grids actually hit.  Worker crashes
-(``BrokenProcessPool``) respawn the pool and requeue the in-flight chunks;
-per-run timeouts kill a stalled pool and recover the other chunks; failed
-runs can be retried with exponential backoff and *deterministic* jitter
+Resilience: sweeps survive the failures that long population-scale grids
+actually hit.  Worker crashes (``BrokenProcessPool``) respawn the pool and
+send the in-flight chunks to a *K-way probation tier* — each suspect
+re-runs in its own isolated single-worker pool, so a crash identifies its
+culprit definitively without serialising the rest of the sweep (the main
+pool keeps draining untouched chunks at full width alongside probation).
+Per-run timeouts are enforced in both modes: a stalled pool is killed and
+its innocent chunks requeued, and serial runs are preempted by a watchdog
+thread that raises inside the running scenario.  Failed runs can be
+retried with exponential backoff and *deterministic* jitter
 (:class:`RetryPolicy` — the jitter is a pure function of the run label and
 attempt number, so resumed sweeps pace identically); every failure carries
-a typed ``error_kind`` on its :class:`RunOutcome`; and a sweep can be
-*checkpointed* to an append-only JSONL file and later :meth:`resumed
-<ExperimentRunner.resume>` — finished specs are skipped and the combined
-outcome list is identical to an uninterrupted run (scenarios are pure
-functions of their spec, so re-executing the unfinished tail reproduces
-exactly what the interrupted run would have produced).
+a typed ``error_kind`` on its :class:`RunOutcome`.  Sweeps can be
+*checkpointed* to an append-only JSONL file — or written through the
+durable run store of :mod:`repro.experiments.store` (manifests + fsynced
+segments) via :meth:`ExperimentRunner.run_stored` — and later
+:meth:`resumed <ExperimentRunner.resume>`: finished specs are skipped and
+the combined outcome list is identical to an uninterrupted run (scenarios
+are pure functions of their spec, so re-executing the unfinished tail
+reproduces exactly what the interrupted run would have produced).
+Cancellation is graceful: SIGINT or a sweep-wide deadline raises
+:class:`SweepCancelled` *after* every finished outcome has been flushed
+and fsynced, so a resume continues from the cancellation point.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import platform
 import random
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -41,6 +53,13 @@ from dataclasses import dataclass, field
 from itertools import product
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from repro.experiments.store import (
+    RepairEvent,
+    outcome_document,
+    repair_segment,
+    scan_records,
+    spec_document,
+)
 from repro.measurement.report import format_table
 from repro.perf import (
     DISPATCH_STAGES,
@@ -66,8 +85,41 @@ BENCH_JSON_FILENAME = "BENCH_netsim.json"
 ERROR_KINDS = ("scenario-error", "timeout", "worker-crash")
 
 
+_logger = logging.getLogger(__name__)
+
+
 class CheckpointError(RuntimeError):
     """A sweep checkpoint could not be written, read, or matched to specs."""
+
+
+class SweepCancelled(RuntimeError):
+    """A sweep stopped early — gracefully — on SIGINT or a sweep deadline.
+
+    Every outcome that finished before the cancellation was already
+    flushed (and fsynced) to the checkpoint / run store, so
+    :meth:`ExperimentRunner.resume` or
+    :meth:`ExperimentRunner.resume_stored` continues exactly from the
+    cancellation point.  The finished outcomes ride on the exception as
+    ``outcomes`` (``{spec index: RunOutcome}``).
+    """
+
+    def __init__(
+        self, reason: str, results: dict[int, "RunOutcome"], total: int
+    ) -> None:
+        self.reason = reason  # "interrupt" or "deadline"
+        self.outcomes = {index: results[index] for index in sorted(results)}
+        self.completed = len(results)
+        self.total = total
+        cause = "SIGINT" if reason == "interrupt" else "its sweep deadline"
+        super().__init__(
+            f"sweep cancelled by {cause} after {self.completed}/{total} runs; "
+            "finished outcomes are flushed — resume() continues from them"
+        )
+
+
+class _SweepDeadlineReached(Exception):
+    """Internal: the sweep-wide deadline expired (converted to
+    :class:`SweepCancelled` by :meth:`ExperimentRunner._run`)."""
 
 
 @dataclass(frozen=True)
@@ -235,13 +287,119 @@ def _execute(spec: RunSpec) -> RunOutcome:
     )
 
 
+# ------------------------------------------------------------ serial watchdog
+class _RunTimeoutInterrupt(BaseException):
+    """Raised *inside* a thread whose serial run exceeded its deadline.
+
+    Derives from ``BaseException`` so a scenario's own ``except
+    Exception`` blocks cannot swallow the preemption.
+    """
+
+
+try:
+    import ctypes
+
+    # PYFUNCTYPE keeps the GIL held across the call, which pythonapi needs.
+    _raise_async_exc = ctypes.PYFUNCTYPE(
+        ctypes.c_int, ctypes.c_ulong, ctypes.py_object
+    )(("PyThreadState_SetAsyncExc", ctypes.pythonapi))
+    _clear_async_exc = ctypes.PYFUNCTYPE(
+        ctypes.c_int, ctypes.c_ulong, ctypes.c_void_p
+    )(("PyThreadState_SetAsyncExc", ctypes.pythonapi))
+except (ImportError, AttributeError):  # non-CPython: no async-exc injection
+    _raise_async_exc = None
+    _clear_async_exc = None
+
+
+class _Watchdog:
+    """Heartbeat thread enforcing per-run deadlines on in-process runs.
+
+    Pool mode enforces ``run_timeout`` by killing the worker process;
+    serial mode has no process to kill, so the watchdog preempts the run
+    by raising :class:`_RunTimeoutInterrupt` inside the executing thread
+    (``PyThreadState_SetAsyncExc``).  CPU-bound scenarios — the real
+    workload, simulator event loops — are interrupted at the next
+    bytecode boundary; a run blocked inside one long C call (e.g. a
+    single ``time.sleep`` spanning the whole budget) only observes the
+    interrupt when that call returns, the inherent limit of in-process
+    preemption.
+
+    Arming, firing and disarming are serialised under one lock, and
+    :meth:`disarm` cancels a fired-but-not-yet-materialised interrupt, so
+    a run that finishes exactly at its deadline cannot leak the interrupt
+    into the next run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._watching = False
+        self._armed_tid: Optional[int] = None
+        self._deadline = 0.0
+        self._generation = 0
+        self._fired = False
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def available() -> bool:
+        """Whether this interpreter supports async-exception injection."""
+        return _raise_async_exc is not None
+
+    def arm(self, thread_id: int, timeout: float) -> int:
+        """Start the deadline clock for ``thread_id``; returns a token."""
+        with self._wake:
+            self._generation += 1
+            self._armed_tid = thread_id
+            self._deadline = time.monotonic() + timeout
+            self._watching = True
+            self._fired = False
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._loop, name="experiment-watchdog", daemon=True
+                )
+                self._thread.start()
+            self._wake.notify_all()
+            return self._generation
+
+    def disarm(self, token: int) -> bool:
+        """Stop watching; returns True when the deadline fired for ``token``."""
+        with self._wake:
+            if self._generation != token:
+                return False
+            fired = self._fired
+            tid = self._armed_tid
+            self._watching = False
+            self._armed_tid = None
+            self._fired = False
+            self._wake.notify_all()
+        if fired and tid is not None:
+            # Cancel an injected interrupt that has not materialised yet
+            # (the run won the race and completed); a materialised one is
+            # already propagating and is caught by the caller.
+            _clear_async_exc(tid, None)
+        return fired
+
+    def _loop(self) -> None:
+        with self._wake:
+            while True:
+                if not self._watching:
+                    self._wake.wait()
+                    continue
+                remaining = self._deadline - time.monotonic()
+                if remaining > 0:
+                    self._wake.wait(timeout=remaining)
+                    continue
+                # Deadline reached: inject while holding the lock so a
+                # concurrent disarm() cannot interleave.
+                self._fired = True
+                self._watching = False
+                _raise_async_exc(self._armed_tid, _RunTimeoutInterrupt)
+
+
 # --------------------------------------------------------------- checkpoints
-def _spec_document(spec: RunSpec) -> dict[str, Any]:
-    """The JSON shape a spec takes inside a checkpoint line."""
-    return {
-        "scenario": spec.scenario,
-        "params": [[name, value] for name, value in spec.params],
-    }
+#: The JSON shape a spec takes inside a checkpoint line / store record
+#: (shared with :mod:`repro.experiments.store`).
+_spec_document = spec_document
 
 
 def _json_normalise(value: Any) -> Any:
@@ -261,42 +419,30 @@ class _CheckpointWriter:
     def __init__(self, path: str) -> None:
         self.path = path
         try:
-            self._repair_torn_tail(path)
+            self._repair_damage(path)
             self._handle = open(path, "a", encoding="utf-8")
         except OSError as exc:
             raise CheckpointError(f"cannot open checkpoint {path!r}: {exc}") from exc
 
     @staticmethod
-    def _repair_torn_tail(path: str) -> None:
-        """Truncate a partial final line left by a kill mid-write.
+    def _repair_damage(path: str) -> list[RepairEvent]:
+        """Rewrite the checkpoint without its damaged lines before appending.
 
-        The loader already treats the fragment as not-done (the run will
-        re-execute), but appending to it would concatenate the next entry
-        onto the fragment and corrupt the file — so drop it first.
+        Generalises the old torn-tail-only truncation: a partial final
+        line from a kill mid-write, undecodable records mid-file and
+        NUL-padded truncation holes are all dropped (the affected runs
+        simply re-execute), via :func:`repro.experiments.store.repair_segment`
+        — valid lines survive byte-for-byte.  Appending without the repair
+        would concatenate the next entry onto a fragment and corrupt it.
+        Every dropped line is reported through a logged warning.
         """
-        try:
-            with open(path, "rb") as handle:
-                data = handle.read()
-        except FileNotFoundError:
-            return
-        if not data or data.endswith(b"\n"):
-            return
-        end = data.rfind(b"\n")
-        with open(path, "wb") as handle:
-            handle.write(data[: end + 1])
+        events = repair_segment(path)
+        for event in events:
+            _logger.warning("checkpoint %s: dropped damaged line — %s", path, event)
+        return events
 
     def append(self, index: int, outcome: RunOutcome) -> None:
-        entry = {
-            "index": index,
-            "spec": _spec_document(outcome.spec),
-            "result": outcome.result,
-            "wall_time": outcome.wall_time,
-            "error": outcome.error,
-            "error_kind": outcome.error_kind,
-            "attempts": outcome.attempts,
-        }
-        if outcome.stage_stats is not None:
-            entry["stage_stats"] = outcome.stage_stats
+        entry = outcome_document(index, outcome)
         try:
             line = json.dumps(entry)
         except (TypeError, ValueError) as exc:
@@ -312,46 +458,47 @@ class _CheckpointWriter:
         self._handle.close()
 
 
-def load_checkpoint(path: str, specs: Sequence[RunSpec]) -> dict[int, RunOutcome]:
+def load_checkpoint(
+    path: str,
+    specs: Sequence[RunSpec],
+    repairs: Optional[list[RepairEvent]] = None,
+) -> dict[int, RunOutcome]:
     """Read a checkpoint back into ``{spec index: RunOutcome}``.
 
-    Validates every line against the sweep it claims to belong to — the
+    Validates every record against the sweep it claims to belong to — the
     index must be in range and the recorded spec must equal ``specs[index]``
     (a mismatch means the checkpoint came from a different grid and raises
-    :class:`CheckpointError` rather than silently skipping wrong runs).  A
-    torn final line (the process was killed mid-write) is ignored; JSON
-    floats round-trip exactly, so reloaded results compare bit-identical
-    to freshly executed ones.
+    :class:`CheckpointError` rather than silently skipping wrong runs).
+
+    Damage is survivable *and reported*, not silently dropped: a torn
+    final line (kill mid-write), undecodable records anywhere in the file
+    (disk corruption) and NUL-padded truncation holes are each logged as a
+    warning and appended to ``repairs`` when a list is passed — the
+    affected runs simply re-execute on resume.  JSON floats round-trip
+    exactly, so reloaded results compare bit-identical to freshly
+    executed ones.
     """
     done: dict[int, RunOutcome] = {}
     if not os.path.exists(path):
         return done
     expected = [_json_normalise(_spec_document(spec)) for spec in specs]
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    for line_number, line in enumerate(lines, start=1):
-        text = line.strip()
-        if not text:
-            continue
-        try:
-            entry = json.loads(text)
-        except json.JSONDecodeError:
-            if line_number == len(lines):
-                break  # torn tail from a kill mid-write: the run re-executes
-            raise CheckpointError(
-                f"checkpoint {path!r} line {line_number} is not valid JSON"
-            ) from None
+    records, events = scan_records(path)
+    for event in events:
+        _logger.warning("checkpoint %s: skipped damaged line — %s", path, event)
+    if repairs is not None:
+        repairs.extend(events)
+    for entry in records:
         index = entry.get("index")
         if not isinstance(index, int) or not 0 <= index < len(specs):
             raise CheckpointError(
-                f"checkpoint {path!r} line {line_number}: index {index!r} "
-                f"out of range for a sweep of {len(specs)} specs"
+                f"checkpoint {path!r}: index {index!r} out of range for a "
+                f"sweep of {len(specs)} specs"
             )
         if entry.get("spec") != expected[index]:
             raise CheckpointError(
-                f"checkpoint {path!r} line {line_number}: recorded spec "
-                f"{entry.get('spec')!r} does not match {specs[index].label} — "
-                "this checkpoint belongs to a different sweep"
+                f"checkpoint {path!r}: recorded spec {entry.get('spec')!r} "
+                f"does not match {specs[index].label} — this checkpoint "
+                "belongs to a different sweep"
             )
         done[index] = RunOutcome(
             spec=specs[index],
@@ -458,18 +605,33 @@ class ExperimentRunner:
         submission.  Each chunk runs against that worker's warmed caches
         (see :mod:`repro.experiments.warmup`).
     run_timeout:
-        Per-run wall-clock budget in seconds, enforced in process mode: a
-        chunk of ``k`` runs gets ``k × run_timeout``, and on expiry the
-        pool is killed, the stalled chunk fails (or retries) with kind
-        ``"timeout"``, the other in-flight chunks are requeued unharmed and
-        a fresh pool takes over.  Pass ``chunk_size=1`` for strict per-run
-        deadlines.  Serial execution cannot preempt a running scenario, so
-        the timeout is not enforced there.
+        Per-run wall-clock budget in seconds, enforced in *both* modes.
+        In process mode a chunk of ``k`` runs gets ``k × run_timeout``,
+        and on expiry the pool is killed, the stalled chunk fails (or
+        retries) with kind ``"timeout"``, the other in-flight chunks are
+        requeued unharmed and a fresh pool takes over; pass
+        ``chunk_size=1`` for strict per-run deadlines.  In serial mode a
+        watchdog thread preempts the running scenario by raising inside
+        it (see :class:`_Watchdog`) — CPU-bound scenarios are interrupted
+        at the next bytecode boundary; a run blocked in one long C call
+        observes the interrupt when the call returns.
     retry:
         A :class:`RetryPolicy`; ``None`` disables retries.  Failed runs of
         a kind in ``retry_on`` re-execute (scenarios are pure functions of
         their spec, so a retry that succeeds is indistinguishable from a
         first-try success apart from ``RunOutcome.attempts``).
+    probation_width:
+        How many isolated single-worker pools re-run crash suspects
+        concurrently (the K of the K-way probation tier).  Defaults to
+        ``min(2, max_workers)``.  Suspects must run isolated for
+        definitive culprit attribution, but probation runs *alongside*
+        the main pool — a crash no longer serialises the sweep.
+    sweep_timeout:
+        Wall-clock budget in seconds for the whole sweep.  On expiry the
+        sweep cancels gracefully: pools are killed, every finished
+        outcome is already flushed, and :class:`SweepCancelled` carries
+        the partial results (``resume()`` continues from them).  SIGINT
+        (``KeyboardInterrupt``) cancels the same way.
     on_progress:
         ``callback(completed, total)`` invoked as runs finish (also on
         runs replayed from a checkpoint).  Throttled by
@@ -484,6 +646,8 @@ class ExperimentRunner:
         chunk_size: Optional[int] = None,
         run_timeout: Optional[float] = None,
         retry: Optional[RetryPolicy] = None,
+        probation_width: Optional[int] = None,
+        sweep_timeout: Optional[float] = None,
         on_progress: Optional[Callable[[int, int], None]] = None,
         progress_interval: float = 0.0,
     ) -> None:
@@ -495,6 +659,12 @@ class ExperimentRunner:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {run_timeout}")
+        if probation_width is not None and probation_width < 1:
+            raise ValueError(
+                f"probation_width must be >= 1, got {probation_width}"
+            )
+        if sweep_timeout is not None and sweep_timeout <= 0:
+            raise ValueError(f"sweep_timeout must be > 0, got {sweep_timeout}")
         if progress_interval < 0:
             raise ValueError(f"progress_interval must be >= 0, got {progress_interval}")
         self.max_workers = max_workers
@@ -502,10 +672,20 @@ class ExperimentRunner:
         self.chunk_size = chunk_size
         self.run_timeout = run_timeout
         self.retry = retry
+        self.probation_width = (
+            probation_width if probation_width is not None else min(2, max_workers)
+        )
+        self.sweep_timeout = sweep_timeout
         self.on_progress = on_progress
         self.progress_interval = progress_interval
         #: "serial" or "processes[N] chunks[M]" — how the last sweep ran.
         self.last_execution_mode: str = "serial"
+        #: Crash/timeout/probation counters from the last pool sweep (see
+        #: :class:`_PoolEngine`); empty for serial sweeps.
+        self.last_recovery: dict[str, Any] = {}
+        #: The sweep id of the last run_stored()/resume_stored() sweep.
+        self.last_sweep_id: Optional[str] = None
+        self._watchdog: Optional[_Watchdog] = None
 
     # ------------------------------------------------------------- execution
     def run(
@@ -528,7 +708,8 @@ class ExperimentRunner:
                 f"checkpoint {checkpoint!r} already holds outcomes; call "
                 "resume() to continue the sweep, or remove the file to restart"
             )
-        return self._run(specs, checkpoint, {})
+        writer = _CheckpointWriter(checkpoint) if checkpoint is not None else None
+        return self._run(specs, writer, {})
 
     def resume(
         self, specs: Sequence[RunSpec], checkpoint: str
@@ -544,12 +725,94 @@ class ExperimentRunner:
         """
         specs = list(specs)
         done = load_checkpoint(checkpoint, specs)
-        return self._run(specs, checkpoint, done)
+        return self._run(specs, _CheckpointWriter(checkpoint), done)
+
+    # ------------------------------------------------------ store write-through
+    def run_stored(
+        self,
+        store: Any,
+        name: str,
+        specs: Sequence[RunSpec],
+        *,
+        sweep_id: Optional[str] = None,
+        seed: Optional[int] = None,
+        fault_plan: Optional[Any] = None,
+        metadata: Optional[dict[str, Any]] = None,
+    ) -> list[RunOutcome]:
+        """Execute a sweep writing through a durable
+        :class:`~repro.experiments.store.RunStore`.
+
+        The sweep's manifest (spec list, seed, fault plan, git revision)
+        commits atomically before the first run; every finished outcome
+        appends to an fsynced segment as it completes.  On success the
+        manifest is stamped ``complete``; graceful cancellation stamps
+        ``cancelled`` (and :meth:`resume_stored` continues the sweep);
+        any other failure stamps ``failed``.  The sweep id lands in
+        :attr:`last_sweep_id`.
+        """
+        specs = list(specs)
+        writer = store.begin_sweep(
+            name,
+            specs,
+            sweep_id=sweep_id,
+            seed=seed,
+            fault_plan=fault_plan,
+            metadata=metadata,
+        )
+        self.last_sweep_id = writer.sweep_id
+        return self._run_through_store(store, writer.sweep_id, specs, writer, {})
+
+    def resume_stored(
+        self,
+        store: Any,
+        sweep_id: str,
+        specs: Optional[Sequence[RunSpec]] = None,
+    ) -> list[RunOutcome]:
+        """Continue a store-backed sweep from its recorded outcomes.
+
+        ``specs=None`` rebuilds the spec list from the sweep's manifest —
+        a crashed sweep resumes from nothing but its store directory.
+        Recorded outcomes are validated against the specs (damaged
+        records are skipped with a logged warning and simply re-execute),
+        and new outcomes append into a fresh segment.  The combined
+        result is identical to an uninterrupted :meth:`run_stored`.
+        """
+        if specs is None:
+            specs = store.specs(sweep_id)
+        specs = list(specs)
+        repairs: list[RepairEvent] = []
+        done = store.load_outcomes(sweep_id, specs, repairs=repairs)
+        for event in repairs:
+            _logger.warning(
+                "store sweep %s: skipped damaged record — %s", sweep_id, event
+            )
+        writer = store.open_sweep(sweep_id)
+        self.last_sweep_id = sweep_id
+        return self._run_through_store(store, sweep_id, specs, writer, done)
+
+    def _run_through_store(
+        self,
+        store: Any,
+        sweep_id: str,
+        specs: list[RunSpec],
+        writer: Any,
+        done: dict[int, RunOutcome],
+    ) -> list[RunOutcome]:
+        try:
+            outcomes = self._run(specs, writer, done)
+        except SweepCancelled:
+            store.finish_sweep(sweep_id, "cancelled")
+            raise
+        except BaseException:
+            store.finish_sweep(sweep_id, "failed")
+            raise
+        store.finish_sweep(sweep_id, "complete")
+        return outcomes
 
     def _run(
         self,
         specs: list[RunSpec],
-        checkpoint: Optional[str],
+        writer: Optional[Any],
         done: dict[int, RunOutcome],
     ) -> list[RunOutcome]:
         previous_env = os.environ.get(STAGE_STATS_ENV)
@@ -557,7 +820,9 @@ class ExperimentRunner:
             # Workers inherit the environment, so this propagates through
             # the process pool as well as the serial path.
             os.environ[STAGE_STATS_ENV] = "1"
-        writer = _CheckpointWriter(checkpoint) if checkpoint is not None else None
+        deadline = None
+        if self.sweep_timeout is not None:
+            deadline = time.monotonic() + self.sweep_timeout
         try:
             results: dict[int, RunOutcome] = dict(done)
             remaining = [
@@ -568,11 +833,18 @@ class ExperimentRunner:
             progress = _ProgressTracker(
                 self.on_progress, self.progress_interval, len(specs), len(results)
             )
-            if self.max_workers == 1 or len(remaining) <= 1:
-                self.last_execution_mode = "serial"
-                self._run_serial(remaining, results, writer, progress)
-            else:
-                self._run_pool(remaining, results, writer, progress)
+            try:
+                if self.max_workers == 1 or len(remaining) <= 1:
+                    self.last_execution_mode = "serial"
+                    self._run_serial(remaining, results, writer, progress, deadline)
+                else:
+                    self._run_pool(remaining, results, writer, progress, deadline)
+            except KeyboardInterrupt:
+                # Graceful cancellation: every finished outcome is already
+                # flushed and fsynced; resume() continues from them.
+                raise SweepCancelled("interrupt", results, len(specs)) from None
+            except _SweepDeadlineReached:
+                raise SweepCancelled("deadline", results, len(specs)) from None
             progress.finish()
             return [results[index] for index in range(len(specs))]
         finally:
@@ -597,11 +869,46 @@ class ExperimentRunner:
             writer.append(index, outcome)
         progress.advance()
 
+    def _execute_serial(self, spec: RunSpec) -> RunOutcome:
+        """One in-process run, pre-empted by the watchdog at ``run_timeout``.
+
+        The watchdog injects :class:`_RunTimeoutInterrupt` into this thread
+        when the deadline passes; because it is a ``BaseException`` the
+        scenario's own ``except Exception`` handlers cannot swallow it.  A
+        run that completes in the same instant the deadline fires keeps its
+        real outcome — the pending interrupt is cleared before it can
+        materialise.
+        """
+        timeout = self.run_timeout
+        if timeout is None:
+            return _execute(spec)
+        if self._watchdog is None:
+            self._watchdog = _Watchdog()
+        watchdog = self._watchdog
+        if not watchdog.available():
+            return _execute(spec)
+        token = watchdog.arm(threading.get_ident(), timeout)
+        try:
+            try:
+                outcome = _execute(spec)
+            finally:
+                watchdog.disarm(token)
+        except _RunTimeoutInterrupt:
+            return RunOutcome(
+                spec=spec,
+                error=(
+                    f"run exceeded its {timeout}s deadline "
+                    "(interrupted in-process by the serial watchdog)"
+                ),
+                error_kind="timeout",
+            )
+        return outcome
+
     def _execute_with_retry(self, spec: RunSpec) -> RunOutcome:
         """Serial execution with the retry policy applied in-process."""
         attempt = 1
         while True:
-            outcome = _execute(spec)
+            outcome = self._execute_serial(spec)
             outcome.attempts = attempt
             if (
                 outcome.ok
@@ -618,8 +925,11 @@ class ExperimentRunner:
         results: dict[int, RunOutcome],
         writer: Optional[_CheckpointWriter],
         progress: _ProgressTracker,
+        deadline: Optional[float] = None,
     ) -> None:
         for index, spec in remaining:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _SweepDeadlineReached
             self._record(index, self._execute_with_retry(spec), results, writer, progress)
 
     # ------------------------------------------------------------- pool engine
@@ -629,6 +939,12 @@ class ExperimentRunner:
         return ProcessPoolExecutor(
             max_workers=self.max_workers, initializer=warm_worker_caches
         )
+
+    def _make_probation_pool(self) -> ProcessPoolExecutor:
+        """An isolated single-worker pool for re-running a crash suspect."""
+        from repro.experiments.warmup import warm_worker_caches
+
+        return ProcessPoolExecutor(max_workers=1, initializer=warm_worker_caches)
 
     def _handle_chunk_failure(
         self,
@@ -668,180 +984,10 @@ class ExperimentRunner:
         results: dict[int, RunOutcome],
         writer: Optional[_CheckpointWriter],
         progress: _ProgressTracker,
+        deadline: Optional[float] = None,
     ) -> None:
-        """The resilient pool engine: deadlines, crash recovery, requeue.
-
-        Three queues: ``pending`` holds untouched chunks, ``in_flight``
-        maps submitted futures to ``(chunk, deadline)``, and ``quarantine``
-        holds chunks that were in flight when a pool broke.  A broken pool
-        cannot say which task killed it, so quarantined chunks re-execute
-        strictly one at a time — an innocent bystander simply completes,
-        while a chunk that breaks a pool it had to itself is the definitive
-        culprit and fails (or retries) with kind ``"worker-crash"``.
-        """
-        try:
-            pool = self._make_pool()
-        except Exception:  # pool creation failure: degrade gracefully
-            self.last_execution_mode = "serial (process pool unavailable)"
-            self._run_serial(remaining, results, writer, progress)
-            return
-        chunks = [_Chunk(tuple(slice_)) for slice_ in self._chunk(remaining)]
-        self.last_execution_mode = (
-            f"processes[{self.max_workers}] chunks[{len(chunks)}]"
-        )
-        pending: deque[_Chunk] = deque(chunks)
-        quarantine: deque[_Chunk] = deque()
-        in_flight: dict[Any, tuple[_Chunk, Optional[float]]] = {}
-
-        def submit(chunk: _Chunk) -> bool:
-            """Submit one chunk; False means the pool is already broken."""
-            try:
-                future = pool.submit(
-                    _execute_chunk, tuple(spec for _, spec in chunk.items)
-                )
-            except BrokenProcessPool:
-                quarantine.appendleft(chunk)
-                return False
-            except Exception:  # unpicklable chunk: run it in the driver
-                for index, spec in chunk.items:
-                    self._record(
-                        index,
-                        self._execute_with_retry(spec),
-                        results,
-                        writer,
-                        progress,
-                    )
-                return True
-            deadline = None
-            if self.run_timeout is not None:
-                deadline = time.monotonic() + self.run_timeout * len(chunk.items)
-            in_flight[future] = (chunk, deadline)
-            return True
-
-        def recover() -> Optional[ProcessPoolExecutor]:
-            """Kill the broken/stalled pool; survivors go to quarantine."""
-            _kill_pool(pool)
-            for _future, (chunk, _deadline) in reversed(list(in_flight.items())):
-                quarantine.appendleft(chunk)
-            in_flight.clear()
-            return self._respawn(pending, quarantine, results, writer, progress)
-
-        try:
-            while pending or quarantine or in_flight:
-                pool_broken = False
-                if quarantine:
-                    # Suspects run solo so a repeat crash has one suspect.
-                    if not in_flight:
-                        pool_broken = not submit(quarantine.popleft())
-                else:
-                    while pending and len(in_flight) < self.max_workers:
-                        if not submit(pending.popleft()):
-                            pool_broken = True
-                            break
-                if pool_broken:
-                    pool = recover()
-                    if pool is None:
-                        return
-                    continue
-                if not in_flight:
-                    continue
-                wait_timeout = None
-                if self.run_timeout is not None:
-                    now = time.monotonic()
-                    deadlines = [
-                        deadline
-                        for _chunk, deadline in in_flight.values()
-                        if deadline is not None
-                    ]
-                    if deadlines:
-                        wait_timeout = max(0.01, min(deadlines) - now)
-                completed, _running = wait(
-                    set(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
-                )
-                if not completed:
-                    # Deadline sweep: a stalled worker holds its pool
-                    # hostage (ProcessPoolExecutor cannot cancel a running
-                    # task), so the whole pool is killed; expired chunks
-                    # fail or retry as timeouts, the rest are requeued at
-                    # their current attempt via the quarantine.
-                    now = time.monotonic()
-                    expired = {
-                        future
-                        for future, (_chunk, deadline) in in_flight.items()
-                        if deadline is not None and deadline <= now
-                    }
-                    if not expired:
-                        continue
-                    for future in expired:
-                        chunk, _deadline = in_flight.pop(future)
-                        self._handle_chunk_failure(
-                            chunk, "timeout", pending, results, writer, progress
-                        )
-                    pool = recover()
-                    if pool is None:
-                        return
-                    continue
-                flight_size = len(in_flight)
-                crashed = False
-                for future in completed:
-                    chunk, _deadline = in_flight.pop(future)
-                    try:
-                        outcomes = future.result()
-                    except BrokenProcessPool:
-                        crashed = True
-                        if flight_size == 1:
-                            # It had the pool to itself: definitive culprit.
-                            self._handle_chunk_failure(
-                                chunk,
-                                "worker-crash",
-                                quarantine,
-                                results,
-                                writer,
-                                progress,
-                            )
-                        else:
-                            quarantine.appendleft(chunk)
-                    except Exception:  # worker-side dispatch failure
-                        crashed = True
-                        self._handle_chunk_failure(
-                            chunk, "worker-crash", quarantine, results, writer, progress
-                        )
-                    else:
-                        for (index, _spec), outcome in zip(chunk.items, outcomes):
-                            outcome.attempts = chunk.attempt
-                            self._record(index, outcome, results, writer, progress)
-                if crashed:
-                    # A broken pool takes every in-flight sibling with it.
-                    pool = recover()
-                    if pool is None:
-                        return
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    def _respawn(
-        self,
-        pending: "deque[_Chunk]",
-        quarantine: "deque[_Chunk]",
-        results: dict[int, RunOutcome],
-        writer: Optional[_CheckpointWriter],
-        progress: _ProgressTracker,
-    ) -> Optional[ProcessPoolExecutor]:
-        """A fresh pool after a kill — or serial drain when none can start."""
-        try:
-            return self._make_pool()
-        except Exception:  # noqa: BLE001 - degrade, don't lose the sweep
-            self.last_execution_mode = "serial (process pool unavailable)"
-            leftovers = [
-                (index, spec)
-                for chunk in list(quarantine) + list(pending)
-                for index, spec in chunk.items
-            ]
-            quarantine.clear()
-            pending.clear()
-            self._run_serial(leftovers, results, writer, progress)
-            return None
-
+        """Drain the sweep through the K-way probation pool engine."""
+        _PoolEngine(self, remaining, results, writer, progress, deadline).run()
 
     def _chunk(self, specs: list) -> list[tuple]:
         """Slice the grid into contiguous worker tasks (see ``chunk_size``)."""
@@ -855,6 +1001,363 @@ class ExperimentRunner:
     def run_grid(self, scenario: str, **axes: Iterable[Any]) -> list[RunOutcome]:
         """Declare and execute a cross-product grid in one call."""
         return self.run(make_grid(scenario, **axes))
+
+
+class _PoolEngine:
+    """Resilient pool drain with a K-way probation tier.
+
+    Three tiers.  The **main pool** (width ``max_workers``) drains
+    untouched chunks; when it breaks, every in-flight chunk is a crash
+    suspect.  The **probation tier** re-runs suspects, each in its own
+    isolated single-worker pool (up to ``probation_width`` at once) so a
+    repeat crash has exactly one suspect — the definitive culprit fails
+    (or retries) with kind ``"worker-crash"`` — while the respawned main
+    pool keeps draining the rest of the sweep at full width.  Innocent
+    bystanders complete in probation and their pool is reused for the
+    next suspect.  **Serial drain** in the driver is the last resort
+    when no pool can start at all.
+
+    Per-run deadlines are enforced in both tiers (a stalled worker holds
+    its pool hostage — ``ProcessPoolExecutor`` cannot cancel a running
+    task — so the owning pool is killed; for the main pool, innocent
+    siblings requeue at the front of ``pending`` at their current
+    attempt).  Recovery statistics land in
+    :attr:`ExperimentRunner.last_recovery`.
+    """
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        remaining: list[tuple[int, RunSpec]],
+        results: dict[int, RunOutcome],
+        writer: Optional[_CheckpointWriter],
+        progress: _ProgressTracker,
+        deadline: Optional[float],
+    ) -> None:
+        self.runner = runner
+        self.results = results
+        self.writer = writer
+        self.progress = progress
+        self.deadline = deadline
+        self.pending: deque[_Chunk] = deque(
+            _Chunk(tuple(slice_)) for slice_ in runner._chunk(remaining)
+        )
+        self.quarantine: deque[_Chunk] = deque()
+        self.main_flight: dict[Any, tuple[_Chunk, Optional[float]]] = {}
+        self.probation: dict[
+            Any, tuple[_Chunk, ProcessPoolExecutor, Optional[float]]
+        ] = {}
+        self.idle_probation: list[ProcessPoolExecutor] = []
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.probation_unavailable = False
+        self.recovery: dict[str, Any] = {
+            "worker_crashes": 0,
+            "probation_runs": 0,
+            "timeouts": 0,
+            "max_parallel_after_crash": 0,
+        }
+
+    def run(self) -> None:
+        runner = self.runner
+        runner.last_recovery = self.recovery
+        try:
+            self.pool = runner._make_pool()
+        except Exception:  # pool creation failure: degrade gracefully
+            runner.last_execution_mode = "serial (process pool unavailable)"
+            leftovers = [item for chunk in self.pending for item in chunk.items]
+            self.pending.clear()
+            runner._run_serial(
+                leftovers, self.results, self.writer, self.progress, self.deadline
+            )
+            return
+        runner.last_execution_mode = (
+            f"processes[{runner.max_workers}] chunks[{len(self.pending)}]"
+        )
+        try:
+            self._drain()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False, cancel_futures=True)
+            for pool in self.idle_probation:
+                pool.shutdown(wait=False, cancel_futures=True)
+            for _chunk, pool, _deadline in self.probation.values():
+                _kill_pool(pool)
+
+    # --------------------------------------------------------------- drain loop
+    def _drain(self) -> None:
+        while self.pending or self.quarantine or self.main_flight or self.probation:
+            self._check_sweep_deadline()
+            self._fill_probation()
+            if not self._fill_main():
+                if not self._recover_main(innocents_to="quarantine"):
+                    return
+                continue
+            futures = set(self.main_flight) | set(self.probation)
+            if not futures:
+                continue
+            if self.recovery["worker_crashes"]:
+                parallel = len(self.main_flight) + len(self.probation)
+                if parallel > self.recovery["max_parallel_after_crash"]:
+                    self.recovery["max_parallel_after_crash"] = parallel
+            completed, _running = wait(
+                futures, timeout=self._wait_timeout(), return_when=FIRST_COMPLETED
+            )
+            if not completed:
+                self._check_sweep_deadline()
+                if not self._deadline_sweep():
+                    return
+                continue
+            flight_size = len(self.main_flight)
+            main_crashed = False
+            for future in completed:
+                if future in self.main_flight:
+                    crashed = self._finish_main(future, flight_size)
+                    main_crashed = main_crashed or crashed
+                else:
+                    self._finish_probation(future)
+            if main_crashed:
+                # A broken pool takes every in-flight sibling with it; the
+                # break counts once, however many futures it failed.
+                self.recovery["worker_crashes"] += 1
+                if not self._recover_main(innocents_to="quarantine"):
+                    return
+
+    # ------------------------------------------------------------- submissions
+    def _fill_main(self) -> bool:
+        """Feed the main pool from ``pending``; False when it is broken."""
+        if self.probation_unavailable and self.quarantine:
+            # No isolated pools can start: fall back to running suspects
+            # solo through the main pool (one at a time keeps culprit
+            # attribution exact), holding fresh work until they settle.
+            if not self.main_flight and not self.probation:
+                return self._submit_main(self.quarantine.popleft())
+            return True
+        while self.pending and len(self.main_flight) < self.runner.max_workers:
+            if not self._submit_main(self.pending.popleft()):
+                return False
+        return True
+
+    def _submit_main(self, chunk: _Chunk) -> bool:
+        """Submit one chunk; False means the pool is already broken."""
+        try:
+            future = self.pool.submit(
+                _execute_chunk, tuple(spec for _, spec in chunk.items)
+            )
+        except BrokenProcessPool:
+            self.recovery["worker_crashes"] += 1
+            self.quarantine.appendleft(chunk)
+            return False
+        except Exception:  # unpicklable chunk: run it in the driver
+            for index, spec in chunk.items:
+                self.runner._record(
+                    index,
+                    self.runner._execute_with_retry(spec),
+                    self.results,
+                    self.writer,
+                    self.progress,
+                )
+            return True
+        self.main_flight[future] = (chunk, self._chunk_deadline(chunk))
+        return True
+
+    def _fill_probation(self) -> None:
+        """Start suspects in isolated pools, up to ``probation_width``."""
+        runner = self.runner
+        if self.probation_unavailable:
+            return
+        while self.quarantine and len(self.probation) < runner.probation_width:
+            chunk = self.quarantine.popleft()
+            pool = self._probation_pool()
+            if pool is None:
+                self.quarantine.appendleft(chunk)
+                self.probation_unavailable = True
+                return
+            payload = tuple(spec for _, spec in chunk.items)
+            try:
+                future = pool.submit(_execute_chunk, payload)
+            except Exception:
+                # A reused idle pool had died in the meantime — retire it
+                # and retry once on a definitely-fresh pool.
+                _kill_pool(pool)
+                pool = None
+                try:
+                    pool = runner._make_probation_pool()
+                    future = pool.submit(_execute_chunk, payload)
+                except Exception:
+                    if pool is not None:
+                        _kill_pool(pool)
+                    self.quarantine.appendleft(chunk)
+                    self.probation_unavailable = True
+                    return
+            self.recovery["probation_runs"] += 1
+            self.probation[future] = (chunk, pool, self._chunk_deadline(chunk))
+
+    def _probation_pool(self) -> Optional[ProcessPoolExecutor]:
+        if self.idle_probation:
+            return self.idle_probation.pop()
+        try:
+            return self.runner._make_probation_pool()
+        except Exception:
+            return None
+
+    def _chunk_deadline(self, chunk: _Chunk) -> Optional[float]:
+        if self.runner.run_timeout is None:
+            return None
+        return time.monotonic() + self.runner.run_timeout * len(chunk.items)
+
+    # --------------------------------------------------------------- completion
+    def _finish_main(self, future: Any, flight_size: int) -> bool:
+        """Settle one main-pool future; True when the pool broke under it."""
+        chunk, _deadline = self.main_flight.pop(future)
+        try:
+            outcomes = future.result()
+        except BrokenProcessPool:
+            if flight_size == 1:
+                # It had the pool to itself: definitive culprit.
+                self._fail(chunk, "worker-crash")
+            else:
+                self.quarantine.appendleft(chunk)
+            return True
+        except Exception:  # worker-side dispatch failure
+            self._fail(chunk, "worker-crash")
+            return True
+        for (index, _spec), outcome in zip(chunk.items, outcomes):
+            outcome.attempts = chunk.attempt
+            self.runner._record(
+                index, outcome, self.results, self.writer, self.progress
+            )
+        return False
+
+    def _finish_probation(self, future: Any) -> None:
+        """Settle one probation future — a crash here has one suspect."""
+        chunk, pool, _deadline = self.probation.pop(future)
+        try:
+            outcomes = future.result()
+        except BrokenProcessPool:
+            # It had the pool to itself: definitive culprit.
+            self.recovery["worker_crashes"] += 1
+            _kill_pool(pool)
+            self._fail(chunk, "worker-crash")
+            return
+        except Exception:  # worker-side dispatch failure
+            _kill_pool(pool)
+            self._fail(chunk, "worker-crash")
+            return
+        for (index, _spec), outcome in zip(chunk.items, outcomes):
+            outcome.attempts = chunk.attempt
+            self.runner._record(
+                index, outcome, self.results, self.writer, self.progress
+            )
+        self.idle_probation.append(pool)
+
+    def _fail(self, chunk: _Chunk, kind: str) -> None:
+        requeue = self.quarantine if kind == "worker-crash" else self.pending
+        self.runner._handle_chunk_failure(
+            chunk, kind, requeue, self.results, self.writer, self.progress
+        )
+
+    # ----------------------------------------------------------------- recovery
+    def _recover_main(self, innocents_to: str) -> bool:
+        """Kill + respawn the main pool; False when the sweep went serial.
+
+        ``innocents_to`` routes the surviving in-flight chunks: after a
+        crash every one is a suspect (``"quarantine"``); after a timeout
+        kill they are known innocent and requeue at the front of
+        ``pending`` (``"pending"``) at their current attempt.
+        """
+        _kill_pool(self.pool)
+        self.pool = None
+        target = self.quarantine if innocents_to == "quarantine" else self.pending
+        for _future, (chunk, _deadline) in reversed(list(self.main_flight.items())):
+            target.appendleft(chunk)
+        self.main_flight.clear()
+        try:
+            self.pool = self.runner._make_pool()
+            return True
+        except Exception:  # noqa: BLE001 - degrade, don't lose the sweep
+            self._drain_serial()
+            return False
+
+    def _deadline_sweep(self) -> bool:
+        """Expire overdue runs; False when main recovery went serial."""
+        if self.runner.run_timeout is None:
+            return True
+        now = time.monotonic()
+        self._expire_probation(now)
+        expired = [
+            future
+            for future, (_chunk, deadline) in self.main_flight.items()
+            if deadline is not None and deadline <= now
+        ]
+        if not expired:
+            return True
+        for future in expired:
+            chunk, _deadline = self.main_flight.pop(future)
+            self.recovery["timeouts"] += 1
+            self._fail(chunk, "timeout")
+        return self._recover_main(innocents_to="pending")
+
+    def _expire_probation(self, now: float) -> None:
+        """Probation pools are independent: kill only the expired ones."""
+        expired = [
+            future
+            for future, (_chunk, _pool, deadline) in self.probation.items()
+            if deadline is not None and deadline <= now
+        ]
+        for future in expired:
+            chunk, pool, _deadline = self.probation.pop(future)
+            self.recovery["timeouts"] += 1
+            _kill_pool(pool)
+            self._fail(chunk, "timeout")
+
+    def _drain_serial(self) -> None:
+        """Last resort: settle probation, then run the rest in the driver."""
+        runner = self.runner
+        runner.last_execution_mode = "serial (process pool unavailable)"
+        while self.probation:
+            self._check_sweep_deadline()
+            completed, _running = wait(
+                set(self.probation),
+                timeout=self._wait_timeout(),
+                return_when=FIRST_COMPLETED,
+            )
+            if not completed:
+                self._expire_probation(time.monotonic())
+                continue
+            for future in completed:
+                self._finish_probation(future)
+        leftovers = [
+            item
+            for chunk in list(self.quarantine) + list(self.pending)
+            for item in chunk.items
+        ]
+        self.quarantine.clear()
+        self.pending.clear()
+        runner._run_serial(
+            leftovers, self.results, self.writer, self.progress, self.deadline
+        )
+
+    # ---------------------------------------------------------------- deadlines
+    def _wait_timeout(self) -> Optional[float]:
+        deadlines = [
+            deadline
+            for _chunk, deadline in self.main_flight.values()
+            if deadline is not None
+        ]
+        deadlines.extend(
+            deadline
+            for _chunk, _pool, deadline in self.probation.values()
+            if deadline is not None
+        )
+        if self.deadline is not None:
+            deadlines.append(self.deadline)
+        if not deadlines:
+            return None
+        return max(0.01, min(deadlines) - time.monotonic())
+
+    def _check_sweep_deadline(self) -> None:
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            raise _SweepDeadlineReached
 
 
 # ------------------------------------------------------------------ reporting

@@ -1,8 +1,16 @@
-"""Small formatting helpers for printing paper-style tables from benchmarks."""
+"""Reporting layer for benchmarks and durable sweep outputs.
+
+Pure formatting: every function takes plain documents (a sweep manifest,
+its records, a metric history) and returns text.  Nothing here reads the
+filesystem or imports :mod:`repro.experiments.store` — the store's CLI
+imports *this* module to render ``report`` output, keeping the layering
+acyclic.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import statistics
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 
 def format_percentage(value: float, decimals: int = 2) -> str:
@@ -29,3 +37,97 @@ def format_table(
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def _short_error(record: Mapping[str, Any], width: int = 48) -> str:
+    error = record.get("error")
+    if not error:
+        return ""
+    text = " ".join(str(error).split())
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def sweep_report(
+    manifest: Mapping[str, Any], records: Sequence[Mapping[str, Any]]
+) -> str:
+    """Render one store sweep (manifest + outcome records) as text.
+
+    Later records for the same spec index win — the same rule the store's
+    ``load_outcomes`` applies — so a resumed sweep reports each run once.
+    Records without an ``index`` (free-form metric samples) are counted
+    but not tabulated.
+    """
+    by_index: dict[int, Mapping[str, Any]] = {}
+    loose = 0
+    for record in records:
+        index = record.get("index")
+        if isinstance(index, int) and not isinstance(index, bool):
+            by_index[index] = record
+        else:
+            loose += 1
+    failed = sum(1 for r in by_index.values() if r.get("error"))
+    header = [
+        f"sweep {manifest.get('sweep_id', '?')} ({manifest.get('name', '?')})",
+        f"  status: {manifest.get('status', '?')}"
+        f"  created: {manifest.get('created_at', '?')}"
+        f"  git: {manifest.get('git_revision') or 'unknown'}",
+        f"  runs: {len(by_index)} recorded, {failed} failed"
+        + (f", {loose} metric sample(s)" if loose else ""),
+    ]
+    if not by_index:
+        return "\n".join(header)
+    rows = []
+    for index in sorted(by_index):
+        record = by_index[index]
+        spec = record.get("spec") or {}
+        wall = record.get("wall_time")
+        rows.append(
+            (
+                index,
+                spec.get("scenario", "?"),
+                "error" if record.get("error") else "ok",
+                record.get("error_kind") or "",
+                f"{wall:.3f}s" if isinstance(wall, (int, float)) else "",
+                _short_error(record),
+            )
+        )
+    table = format_table(
+        ("idx", "scenario", "status", "kind", "wall", "error"), rows
+    )
+    return "\n".join(header) + "\n" + table
+
+
+def trend_report(
+    history: Mapping[str, Sequence[float]],
+    fresh: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Summarise per-metric history windows (and optionally a fresh run).
+
+    ``history`` maps metric name → ordered samples (oldest first).  The
+    spread column is the population standard deviation as a fraction of
+    the median — the quantity the trend-aware regression gate widens its
+    noise band by.
+    """
+    rows = []
+    for name in sorted(history):
+        values = [float(v) for v in history[name]]
+        if not values:
+            continue
+        median = statistics.median(values)
+        spread = (
+            statistics.pstdev(values) / median
+            if len(values) > 1 and median > 0
+            else 0.0
+        )
+        row = [name, len(values), f"{median:,.0f}", f"{spread:.1%}"]
+        if fresh is not None:
+            value = fresh.get(name)
+            if isinstance(value, (int, float)) and median > 0:
+                row.append(f"{value:,.0f} ({(value - median) / median:+.1%})")
+            else:
+                row.append("—")
+        rows.append(row)
+    headers = ["metric", "n", "median", "spread"]
+    if fresh is not None:
+        headers.append("fresh (vs median)")
+    return format_table(headers, rows, title="metric history")

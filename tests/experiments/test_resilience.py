@@ -20,6 +20,7 @@ from repro.experiments import (
     ExperimentRunner,
     RetryPolicy,
     RunSpec,
+    SweepCancelled,
     load_checkpoint,
     make_grid,
     scenario,
@@ -66,6 +67,25 @@ def _test_res_crash() -> None:
 def _test_res_sleep(seconds: float = 30.0, x: int = 0) -> int:
     time.sleep(seconds)
     return x
+
+
+@scenario("_test_res_spin")
+def _test_res_spin(seconds: float = 30.0, x: int = 0) -> int:
+    """CPU-bound stall: only an in-process interrupt can stop it early."""
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        pass
+    return x
+
+
+@scenario("_test_res_interrupt_once")
+def _test_res_interrupt_once(marker: str = "") -> int:
+    """Raises KeyboardInterrupt on its first run (SIGINT landing mid-run)."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("1")
+        raise KeyboardInterrupt
+    return 1
 
 
 class TestRetryPolicy:
@@ -345,3 +365,176 @@ class TestCheckpointing:
         ExperimentRunner(max_workers=2).run(specs, checkpoint=path)
         resumed = ExperimentRunner(max_workers=2).resume(specs, checkpoint=path)
         assert [o.result for o in resumed] == [o.result for o in uninterrupted]
+
+
+class TestSerialWatchdog:
+    """run_timeout is enforced in serial mode too, via in-process preemption."""
+
+    def test_cpu_bound_run_interrupted_in_serial_mode(self):
+        runner = ExperimentRunner(max_workers=1, run_timeout=0.5)
+        specs = [
+            RunSpec.make("_test_res_spin", seconds=30.0, x=1),
+            RunSpec.make("_test_res_square", x=4),
+        ]
+        start = time.monotonic()
+        outcomes = runner.run(specs)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0  # did not wait out the 30s busy-loop
+        assert runner.last_execution_mode == "serial"
+        assert outcomes[0].error_kind == "timeout"
+        assert "watchdog" in outcomes[0].error
+        # the interrupt did not leak into the next run
+        assert outcomes[1].ok and outcomes[1].result == 16
+
+    def test_serial_timeout_retries_via_policy(self):
+        runner = ExperimentRunner(
+            max_workers=1,
+            run_timeout=0.3,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        outcome = runner.run([RunSpec.make("_test_res_spin", seconds=30.0)])[0]
+        assert outcome.error_kind == "timeout"
+        assert outcome.attempts == 2
+
+    def test_fast_run_unaffected_by_watchdog(self):
+        runner = ExperimentRunner(max_workers=1, run_timeout=30.0)
+        outcomes = runner.run(make_grid("_test_res_square", x=[1, 2, 3]))
+        assert [o.result for o in outcomes] == [1, 4, 9]
+
+
+class TestGracefulCancellation:
+    """SIGINT / sweep deadline flush finished outcomes; resume() continues."""
+
+    def test_interrupt_flushes_partial_results(self, tmp_path):
+        marker = str(tmp_path / "interrupted")
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [
+            RunSpec.make("_test_res_square", x=2),
+            RunSpec.make("_test_res_interrupt_once", marker=marker),
+            RunSpec.make("_test_res_square", x=5),
+        ]
+        runner = ExperimentRunner(max_workers=1)
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.run(specs, checkpoint=path)
+        cancelled = excinfo.value
+        assert cancelled.reason == "interrupt"
+        assert cancelled.completed == 1 and cancelled.total == 3
+        assert cancelled.outcomes[0].result == 4
+        # the flushed checkpoint resumes past the interruption point
+        resumed = ExperimentRunner(max_workers=1).resume(specs, checkpoint=path)
+        assert [o.result for o in resumed] == [4, 1, 25]
+
+    def test_sweep_deadline_cancels_serial_sweep(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        specs = [
+            RunSpec.make("_test_res_sleep", seconds=0.2, x=i) for i in range(10)
+        ]
+        runner = ExperimentRunner(max_workers=1, sweep_timeout=0.5)
+        start = time.monotonic()
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.run(specs, checkpoint=path)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        cancelled = excinfo.value
+        assert cancelled.reason == "deadline"
+        assert 1 <= cancelled.completed < 10
+        # every finished outcome is on disk; a resume completes the sweep
+        resumed = ExperimentRunner(max_workers=1).resume(specs, checkpoint=path)
+        assert [o.result for o in resumed] == list(range(10))
+
+    def test_sweep_deadline_cancels_pool_sweep(self):
+        specs = [
+            RunSpec.make("_test_res_sleep", seconds=0.3, x=i) for i in range(12)
+        ]
+        runner = ExperimentRunner(
+            max_workers=2, chunk_size=1, sweep_timeout=0.6
+        )
+        start = time.monotonic()
+        with pytest.raises(SweepCancelled) as excinfo:
+            runner.run(specs)
+        elapsed = time.monotonic() - start
+        assert elapsed < 5.0
+        assert excinfo.value.reason == "deadline"
+        assert excinfo.value.completed < 12
+
+    def test_invalid_sweep_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(sweep_timeout=0.0)
+
+
+class TestProbationEngine:
+    """Crash suspects re-run in isolated pools; the sweep stays parallel."""
+
+    def test_clean_sweep_reports_zero_recovery(self):
+        runner = ExperimentRunner(max_workers=2, chunk_size=1)
+        runner.run(make_grid("_test_res_square", x=[1, 2, 3, 4]))
+        assert runner.last_recovery == {
+            "worker_crashes": 0,
+            "probation_runs": 0,
+            "timeouts": 0,
+            "max_parallel_after_crash": 0,
+        }
+
+    def test_repeated_crashes_in_one_chunk(self):
+        """A chunk holding two crashers fails cleanly however often it runs."""
+        specs = [
+            RunSpec.make("_test_res_crash"),
+            RunSpec.make("_test_res_crash"),
+            RunSpec.make("_test_res_square", x=2),
+            RunSpec.make("_test_res_square", x=3),
+        ]
+        runner = ExperimentRunner(max_workers=2, chunk_size=2, retry=None)
+        outcomes = runner.run(specs)
+        assert [o.error_kind for o in outcomes[:2]] == [
+            "worker-crash",
+            "worker-crash",
+        ]
+        assert [o.result for o in outcomes[2:]] == [4, 9]
+
+    def test_crash_during_probation_is_definitive_culprit(self):
+        """A suspect that crashes its isolated pool fails with attempts
+        counted across its probation re-runs."""
+        specs = [RunSpec.make("_test_res_crash")] + [
+            RunSpec.make("_test_res_square", x=i) for i in range(5)
+        ]
+        runner = ExperimentRunner(
+            max_workers=2,
+            chunk_size=1,
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+        )
+        outcomes = runner.run(specs)
+        crash = outcomes[0]
+        assert crash.error_kind == "worker-crash"
+        assert crash.attempts == 2  # retried in probation, crashed again
+        assert [o.result for o in outcomes[1:]] == [0, 1, 4, 9, 16]
+        assert runner.last_recovery["probation_runs"] >= 2
+        assert runner.last_recovery["worker_crashes"] >= 2
+
+    def test_resume_mid_quarantine_identical_to_uninterrupted(self, tmp_path):
+        """Killing the driver while a crash is being attributed loses
+        nothing: the resumed sweep matches an uninterrupted one."""
+        specs = [
+            RunSpec.make("_test_res_square", x=1),
+            RunSpec.make("_test_res_crash"),
+            RunSpec.make("_test_res_square", x=3),
+            RunSpec.make("_test_res_square", x=4),
+            RunSpec.make("_test_res_square", x=5),
+        ]
+
+        def runner():
+            return ExperimentRunner(max_workers=2, chunk_size=1, retry=None)
+
+        uninterrupted = runner().run(specs)
+        full_path = str(tmp_path / "full.jsonl")
+        runner().run(specs, checkpoint=full_path)
+        with open(full_path) as handle:
+            lines = handle.readlines()
+        # keep only the first two finished outcomes — the sweep dies while
+        # the crash chunk is still in quarantine/probation
+        partial_path = str(tmp_path / "partial.jsonl")
+        with open(partial_path, "w") as handle:
+            handle.writelines(lines[:2])
+        resumed = runner().resume(specs, checkpoint=partial_path)
+        assert [(o.spec, o.result, o.error_kind) for o in resumed] == [
+            (o.spec, o.result, o.error_kind) for o in uninterrupted
+        ]

@@ -1,0 +1,108 @@
+"""Trend-aware regression gate: rolling history windows with noise bands."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+sys.path.insert(0, BENCHMARKS_DIR)
+
+from check_regression import (  # noqa: E402
+    DEFAULT_HISTORY_MIN,
+    HISTORY_SWEEP,
+    append_history,
+    collect_history,
+    compare,
+    trend_compare,
+)
+from repro.experiments.store import RunStore  # noqa: E402
+
+
+def _doc(value: float) -> dict:
+    return {
+        "schema": "repro-bench/1",
+        "microbenchmarks": {"packets_per_sec": value},
+    }
+
+
+def _history(tmp_path, values) -> list[dict]:
+    root = str(tmp_path / "history")
+    for value in values:
+        append_history(_doc(value), root)
+    return collect_history(root, window=10)
+
+
+class TestHistoryStore:
+    def test_append_creates_store_sweep(self, tmp_path):
+        root = str(tmp_path / "history")
+        metrics = append_history(_doc(100.0), root)
+        assert metrics == {"microbenchmarks.packets_per_sec": 100.0}
+        store = RunStore(root)
+        assert store.sweeps() == [HISTORY_SWEEP]
+        assert store.metric_history(
+            HISTORY_SWEEP, "microbenchmarks.packets_per_sec"
+        ) == [100.0]
+
+    def test_collect_history_windows_most_recent(self, tmp_path):
+        root = str(tmp_path / "history")
+        for value in range(6):
+            append_history(_doc(float(value)), root)
+        window = collect_history(root, window=3)
+        assert [s["metrics"]["microbenchmarks.packets_per_sec"] for s in window] == [
+            3.0,
+            4.0,
+            5.0,
+        ]
+
+    def test_missing_store_reads_empty(self, tmp_path):
+        assert collect_history(str(tmp_path / "nowhere"), window=5) == []
+
+
+class TestTrendCompare:
+    def test_few_samples_fall_back_to_single_baseline(self, tmp_path):
+        history = _history(tmp_path, [100.0])  # below DEFAULT_HISTORY_MIN
+        assert len(history) < DEFAULT_HISTORY_MIN
+        regressions, notes = trend_compare(_doc(100.0), _doc(70.0), history)
+        assert regressions and "single baseline" in regressions[0]
+        # matches what the plain gate would say about the same pair
+        plain, _ = compare(_doc(100.0), _doc(70.0))
+        assert len(plain) == len(regressions)
+
+    def test_median_of_window_beats_one_lucky_number(self, tmp_path):
+        # one lucky committed 100 would flag 75 as a -25% regression, but
+        # the trend says typical runs land near 76
+        history = _history(tmp_path, [77.0, 75.0, 76.0, 78.0, 74.0])
+        regressions, notes = trend_compare(_doc(100.0), _doc(75.0), history)
+        assert regressions == []
+        assert any("median[5]" in note for note in notes)
+
+    def test_collapse_below_trend_band_fails(self, tmp_path):
+        history = _history(tmp_path, [100.0, 102.0, 98.0, 101.0, 99.0])
+        regressions, _notes = trend_compare(_doc(100.0), _doc(40.0), history)
+        assert len(regressions) == 1
+        assert "trend band" in regressions[0]
+
+    def test_noisy_metric_widens_its_band(self, tmp_path):
+        # ±40% wobble across the window: pstdev/median ≈ 0.33, so the band
+        # grows to 2.5σ ≈ 50% (the cap) and a 45% dip stays green
+        history = _history(tmp_path, [60.0, 140.0, 100.0, 65.0, 135.0])
+        regressions, _notes = trend_compare(_doc(100.0), _doc(55.0), history)
+        assert regressions == []
+
+    def test_steady_metric_keeps_static_band(self, tmp_path):
+        history = _history(tmp_path, [100.0] * 5)
+        regressions, _notes = trend_compare(_doc(100.0), _doc(79.0), history)
+        assert len(regressions) == 1  # -21% on a 20% band
+
+    def test_metric_missing_everywhere_is_skipped(self, tmp_path):
+        history = _history(tmp_path, [100.0])
+        empty = {"schema": "repro-bench/1", "microbenchmarks": {}}
+        regressions, notes = trend_compare(empty, empty, history)
+        assert regressions == []
+        assert all("skipped" in n or "(" in n for n in notes)

@@ -37,3 +37,78 @@ class TestFormatTable:
     def test_handles_non_string_cells(self):
         text = format_table(["n", "value"], [[1, 0.5], [2, None]])
         assert "None" in text and "0.5" in text
+
+
+class TestSweepReport:
+    MANIFEST = {
+        "sweep_id": "s1",
+        "name": "table2",
+        "status": "complete",
+        "created_at": "2026-08-08T00:00:00",
+        "git_revision": "abc123",
+    }
+
+    def test_renders_manifest_and_runs(self):
+        from repro.measurement.report import sweep_report
+
+        records = [
+            {
+                "index": 0,
+                "spec": {"scenario": "table2_runtime_attack", "params": []},
+                "result": {"ok": True},
+                "wall_time": 1.25,
+                "error": None,
+                "error_kind": None,
+            },
+            {
+                "index": 1,
+                "spec": {"scenario": "table2_runtime_attack", "params": []},
+                "result": None,
+                "wall_time": 0.5,
+                "error": "worker process died (pool respawned)",
+                "error_kind": "worker-crash",
+            },
+        ]
+        text = sweep_report(self.MANIFEST, records)
+        assert "sweep s1 (table2)" in text
+        assert "status: complete" in text
+        assert "2 recorded, 1 failed" in text
+        assert "worker-crash" in text
+        assert "1.250s" in text
+
+    def test_later_records_win_and_loose_records_counted(self):
+        from repro.measurement.report import sweep_report
+
+        spec = {"scenario": "x", "params": []}
+        records = [
+            {"index": 0, "spec": spec, "error": "boom", "error_kind": "timeout"},
+            {"index": 0, "spec": spec, "error": None, "error_kind": None},
+            {"kind": "bench-sample", "metrics": {"m": 1.0}},
+        ]
+        text = sweep_report(self.MANIFEST, records)
+        assert "1 recorded, 0 failed, 1 metric sample(s)" in text
+
+    def test_empty_sweep_renders_header_only(self):
+        from repro.measurement.report import sweep_report
+
+        text = sweep_report(self.MANIFEST, [])
+        assert "0 recorded" in text
+
+
+class TestTrendReport:
+    def test_history_summary_with_fresh_column(self):
+        from repro.measurement.report import trend_report
+
+        text = trend_report(
+            {"a.metric": [100.0, 102.0, 98.0]}, fresh={"a.metric": 101.0}
+        )
+        assert "a.metric" in text
+        assert "fresh (vs median)" in text
+        assert "+1.0%" in text
+
+    def test_history_only(self):
+        from repro.measurement.report import trend_report
+
+        text = trend_report({"a": [1.0, 2.0, 3.0]})
+        assert "median" in text and "spread" in text
+        assert "fresh" not in text
