@@ -17,11 +17,15 @@
 #   make store-fsck    validate every run store in the repo (experiment
 #                      sweeps under runs/ plus the bench history) — scans
 #                      segments for torn/corrupt records; STORE=dir for one
+#   make population-smoke  small population landscape end-to-end: a 3×3
+#                      grid of heterogeneous mini-fleets through the
+#                      durable experiment engine, printed as a
+#                      success-probability table
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test regression regression-trend bench bench-refresh bench-burst chaos store-fsck
+.PHONY: test regression regression-trend bench bench-refresh bench-burst chaos store-fsck population-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -50,3 +54,6 @@ bench-refresh:
 
 bench-burst:
 	$(PYTHON) benchmarks/bench_micro_netsim.py
+
+population-smoke:
+	$(PYTHON) -m repro.population.landscape

@@ -49,6 +49,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+from repro.experiments.store import metric_type, register_metric  # noqa: E402
+
 #: Where the trend gate keeps its rolling metric history (a RunStore).
 DEFAULT_HISTORY_DIR = os.path.join(REPO_ROOT, ".bench_history")
 
@@ -64,7 +66,11 @@ DEFAULT_HISTORY_MIN = 3
 _SPREAD_SIGMA = 2.5
 _MAX_TREND_BAND = 0.50
 
-#: Headline higher-is-better metrics, as key paths into the bench document.
+#: Headline gated metrics, as key paths into the bench document.  The
+#: comparison *direction* is no longer implied by this tuple: each dotted
+#: name resolves through the store's metric-type registry
+#: (:func:`repro.experiments.store.metric_type`), whose
+#: ``higher_is_better`` flag says which way a regression points.
 THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
     ("microbenchmarks", "packets_per_sec"),
     ("microbenchmarks", "pipeline_events_per_sec"),
@@ -81,7 +87,28 @@ THROUGHPUT_METRICS: tuple[tuple[str, ...], ...] = (
     ("microbenchmarks", "limiter_burst_ops_per_sec"),
     ("experiments", "table2_ntpd_p1", "result", "events_per_wall_second"),
     ("experiments", "table2_ntpd_p1_trusted", "result", "events_per_wall_second"),
+    ("experiments", "population_fleet", "result", "clients_per_sec"),
 )
+
+#: Suffix → unit for the gated metric families (first match wins).
+_UNIT_SUFFIXES = (
+    ("clients_per_sec", "clients/sec"),
+    ("packets_per_sec", "packets/sec"),
+    ("events_per_wall_second", "events/sec"),
+    ("events_per_sec", "events/sec"),
+    ("ops_per_sec", "ops/sec"),
+)
+
+for _path in THROUGHPUT_METRICS:
+    _name = ".".join(_path)
+    register_metric(
+        _name,
+        unit=next(
+            (unit for suffix, unit in _UNIT_SUFFIXES if _name.endswith(suffix)), ""
+        ),
+        higher_is_better=True,
+    )
+del _path, _name
 
 #: Default tolerated fractional slowdown per metric.
 DEFAULT_THRESHOLD = 0.20
@@ -100,6 +127,8 @@ NOISE_BANDS: dict[str, float] = {
     "microbenchmarks.event_loop.timer_chain.fast_events_per_sec": 0.30,
     "microbenchmarks.limiter_burst_ops_per_sec": 0.30,
     "microbenchmarks.dns_decode_cold_ops_per_sec": 0.30,
+    # A sub-second fleet cell: wall time wobbles with worker start-up.
+    "experiments.population_fleet.result.clients_per_sec": 0.30,
 }
 
 #: The bench document schema this checker understands (see
@@ -171,6 +200,19 @@ def extract(document: dict[str, Any], path: tuple[str, ...]) -> Optional[float]:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+def goodness_change(name: str, reference: float, new: float) -> float:
+    """Signed fractional change where **negative always means worse**.
+
+    Plain ``(new - reference) / reference`` when the metric's registered
+    type says higher is better; negated for lower-is-better metrics (a
+    latency increase reads as a negative change).  Every comparison site
+    then tests ``change < -band`` regardless of direction — the direction
+    lives in the store's metric-type registry, not in this file.
+    """
+    change = (new - reference) / reference
+    return change if metric_type(name).higher_is_better else -change
+
+
 def compare(
     baseline: dict[str, Any],
     fresh: dict[str, Any],
@@ -179,8 +221,11 @@ def compare(
     """Diff the two documents; returns ``(regressions, notes)``.
 
     A regression is a metric whose fresh value is more than its noise band
-    below the baseline — :data:`NOISE_BANDS` for the scheduler-sensitive
-    microbenches, ``threshold`` for everything else.  Notes cover skipped
+    *worse* than the baseline — the direction comes from the metric's
+    registered type (:func:`goodness_change`), the band from
+    :data:`NOISE_BANDS` for the scheduler-sensitive microbenches and
+    ``threshold`` for everything else.  Printed percentages are
+    goodness-signed: ``+`` is always an improvement.  Notes cover skipped
     metrics and improvements.
     """
     regressions: list[str] = []
@@ -193,7 +238,7 @@ def compare(
         if old is None or new is None or old <= 0:
             notes.append(f"skipped {name} (missing in baseline or fresh run)")
             continue
-        change = (new - old) / old
+        change = goodness_change(name, old, new)
         if change < -band:
             regressions.append(
                 f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
@@ -295,7 +340,7 @@ def trend_compare(
                     f"{len(values)} history sample(s))"
                 )
                 continue
-            change = (new - old) / old
+            change = goodness_change(name, old, new)
             if change < -static_band:
                 regressions.append(
                     f"{name}: {old:,.0f} -> {new:,.0f} ({change:+.1%}, "
@@ -314,7 +359,7 @@ def trend_compare(
             continue
         spread = statistics.pstdev(values) / median
         band = min(_MAX_TREND_BAND, max(static_band, _SPREAD_SIGMA * spread))
-        change = (new - median) / median
+        change = goodness_change(name, median, new)
         line = (
             f"{name}: median[{len(values)}] {median:,.0f} -> {new:,.0f} "
             f"({change:+.1%}, trend band -{band:.0%})"
@@ -388,7 +433,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
 
     from bench_micro_netsim import run_micro_benchmarks
-    from run_benchmarks import refine_timing, run_end_to_end, run_trusted_fabric
+    from run_benchmarks import (
+        refine_timing,
+        run_end_to_end,
+        run_population_fleet,
+        run_trusted_fabric,
+    )
 
     print(f"running fresh benchmarks (best of {args.rounds})...", flush=True)
     # End-to-end first, microbenchmarks second — same order as
@@ -398,6 +448,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     # host-scheduling stall cannot read as a false regression.
     end_to_end = run_end_to_end(max_workers=1)
     trusted = run_trusted_fabric(1)
+    population = run_population_fleet(1)
     micro = run_micro_benchmarks(rounds=args.rounds)
     refine_timing(end_to_end, "table2_runtime_attack", 1)
     refine_timing(trusted, "table2_trusted_fabric", 1)
@@ -405,6 +456,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "experiments": {
             "table2_ntpd_p1": end_to_end,
             "table2_ntpd_p1_trusted": trusted,
+            "population_fleet": population,
         },
         "microbenchmarks": micro,
     }

@@ -50,6 +50,7 @@ from typing import Optional
 from repro.core.attacker import Attacker
 from repro.netsim.packet import IPProtocol, IPv4Packet
 from repro.netsim.simulator import Simulator
+from repro.perf import STAGES, perf_counter
 from repro.netsim.udp import (
     UDP_HEADER_LEN,
     _UDP_HEADER,
@@ -305,6 +306,7 @@ class AssociationRemover:
         campaign order, so delivery order, loss draws and IPID usage match
         the old query-at-a-time loop exactly.
         """
+        started = perf_counter() if STAGES.enabled else 0.0
         now = self.simulator._now  # slot read; fires tens of thousands of times
         if now != self._wire_time:
             self._query_payload(now)
@@ -356,6 +358,12 @@ class AssociationRemover:
         stats.spoofed_ntp_queries_sent += count
         stats.packets_injected += count
         self._network.transmit_burst(packets)
+        if started:
+            # Driver-side attribution (see repro.perf.DRIVER_STAGES): the
+            # whole craft-and-spray window is codec-free, so the bucket is
+            # disjoint from decode/encode and the delivery pipeline (which
+            # runs later, at heap-drain time).
+            STAGES.add("campaign_send", perf_counter() - started)
 
     # ------------------------------------------------------- batched rounds
     def _send_round(self) -> None:
@@ -368,6 +376,7 @@ class AssociationRemover:
         self.simulator.post(self.query_interval, self._send_round)
 
     def _send_round_for(self, campaigns: list[RemovalCampaign]) -> None:
+        started = perf_counter() if STAGES.enabled else 0.0
         now = self.simulator.now
         if now != self._wire_time:
             self._query_payload(now)
@@ -379,3 +388,5 @@ class AssociationRemover:
         self.stats.spoofed_queries_sent += count
         self.attacker.stats.spoofed_ntp_queries_sent += count
         self.attacker.inject_burst(packets)
+        if started:
+            STAGES.add("campaign_send", perf_counter() - started)

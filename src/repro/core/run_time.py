@@ -37,6 +37,7 @@ from repro.dns.records import a_record
 from repro.dns.resolver import RecursiveResolver
 from repro.netsim.simulator import Simulator
 from repro.ntp.clients.base import BaseNTPClient
+from repro.perf import STAGES, perf_counter
 
 
 class RunTimeScenario(Enum):
@@ -140,18 +141,25 @@ class RunTimeAttack:
             self.remover.target(peer_ip)
 
     def _check_progress(self) -> None:
-        if self._finished:
-            return
-        elapsed = self.simulator.now - self._started_at
-        shift = self.victim.clock_error()
-        target = self.attacker.resources.time_shift
-        if abs(shift - target) <= max(1.0, abs(target) * 0.1):
-            self._finish(success=True, duration=elapsed)
-            return
-        if elapsed >= self.max_duration:
-            self._finish(success=False, duration=None)
-            return
-        self.simulator.schedule(self.check_interval, self._check_progress, label="runtime-check")
+        started = perf_counter() if STAGES.enabled else 0.0
+        try:
+            if self._finished:
+                return
+            elapsed = self.simulator.now - self._started_at
+            shift = self.victim.clock_error()
+            target = self.attacker.resources.time_shift
+            if abs(shift - target) <= max(1.0, abs(target) * 0.1):
+                self._finish(success=True, duration=elapsed)
+                return
+            if elapsed >= self.max_duration:
+                self._finish(success=False, duration=None)
+                return
+            self.simulator.schedule(
+                self.check_interval, self._check_progress, label="runtime-check"
+            )
+        finally:
+            if started:
+                STAGES.add("progress_check", perf_counter() - started)
 
     def _finish(self, success: bool, duration: Optional[float]) -> None:
         self._finished = True

@@ -63,6 +63,7 @@ from repro.experiments.store import (
 from repro.measurement.report import format_table
 from repro.perf import (
     DISPATCH_STAGES,
+    DRIVER_STAGES,
     PIPELINE_STAGES,
     STAGE_STATS_ENV,
     STAGES,
@@ -236,7 +237,9 @@ def make_grid(scenario: str, **axes: Iterable[Any]) -> list[RunSpec]:
     ]
 
 
-def _execute_chunk(specs: tuple[RunSpec, ...]) -> list[RunOutcome]:
+def _execute_chunk(
+    specs: tuple[RunSpec, ...], pack_tenants: int = 0
+) -> list[RunOutcome]:
     """Run a contiguous slice of the grid in one worker task.
 
     Chunked submission amortises the per-task overhead of the process pool
@@ -244,11 +247,69 @@ def _execute_chunk(specs: tuple[RunSpec, ...]) -> list[RunOutcome]:
     :func:`repro.experiments.warmup.warm_worker_caches` pool initializer —
     means a worker pays the import/intern/memo warm-up once, not once per
     scenario.  Top-level, hence picklable.
+
+    With ``pack_tenants`` > 1, consecutive same-scenario specs (up to that
+    many per batch) whose scenario registered a tenant pack (see
+    :func:`repro.experiments.scenarios.get_tenant_pack`) execute as one
+    multi-tenant batch behind this worker's warmed caches instead of one
+    at a time.  Scenarios are pure functions of their specs, so results
+    are identical either way; packing only changes per-run wall-time
+    attribution (spread evenly over the pack), so it is skipped while
+    stage-stats collection is on.
     """
     from repro.experiments.warmup import warm_worker_caches
 
     warm_worker_caches()
+    if pack_tenants > 1 and not os.environ.get(STAGE_STATS_ENV):
+        return _execute_packed(specs, pack_tenants)
     return [_execute(spec) for spec in specs]
+
+
+def _execute_packed(
+    specs: tuple[RunSpec, ...], limit: int
+) -> list[RunOutcome]:
+    """Chunk execution with multi-tenant packing of same-scenario runs.
+
+    Falls back to :func:`_execute` per spec whenever a scenario has no
+    registered pack, the pack raises, or it returns the wrong number of
+    results — packing is an optimisation, never a semantic change.
+    """
+    from repro.experiments.scenarios import get_tenant_pack
+
+    outcomes: list[RunOutcome] = []
+    index = 0
+    while index < len(specs):
+        scenario = specs[index].scenario
+        group = [specs[index]]
+        index += 1
+        while (
+            index < len(specs)
+            and specs[index].scenario == scenario
+            and len(group) < limit
+        ):
+            group.append(specs[index])
+            index += 1
+        pack = get_tenant_pack(scenario) if len(group) > 1 else None
+        if pack is None:
+            outcomes.extend(_execute(spec) for spec in group)
+            continue
+        started = time.perf_counter()
+        try:
+            results = pack([spec.kwargs() for spec in group])
+            if len(results) != len(group):
+                raise RuntimeError(
+                    f"tenant pack for {scenario!r} returned "
+                    f"{len(results)} results for {len(group)} specs"
+                )
+        except Exception:  # noqa: BLE001 - packs are best-effort
+            outcomes.extend(_execute(spec) for spec in group)
+            continue
+        share = (time.perf_counter() - started) / len(group)
+        outcomes.extend(
+            RunOutcome(spec=spec, result=result, wall_time=share)
+            for spec, result in zip(group, results)
+        )
+    return outcomes
 
 
 def _execute(spec: RunSpec) -> RunOutcome:
@@ -650,6 +711,7 @@ class ExperimentRunner:
         sweep_timeout: Optional[float] = None,
         on_progress: Optional[Callable[[int, int], None]] = None,
         progress_interval: float = 0.0,
+        tenants_per_worker: Optional[int] = None,
     ) -> None:
         if max_workers is None:
             max_workers = os.cpu_count() or 1
@@ -657,6 +719,10 @@ class ExperimentRunner:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if tenants_per_worker is not None and tenants_per_worker < 1:
+            raise ValueError(
+                f"tenants_per_worker must be >= 1, got {tenants_per_worker}"
+            )
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {run_timeout}")
         if probation_width is not None and probation_width < 1:
@@ -678,6 +744,13 @@ class ExperimentRunner:
         self.sweep_timeout = sweep_timeout
         self.on_progress = on_progress
         self.progress_interval = progress_interval
+        #: Multi-tenant worker mode: pack up to this many consecutive
+        #: same-scenario runs into one in-worker batch (scenarios that
+        #: registered a tenant pack only; see
+        #: :func:`repro.experiments.scenarios.tenant_pack`).  ``None`` or
+        #: ``1`` disables packing.  Pool mode only — serial runs are
+        #: already one process behind warm caches.
+        self.tenants_per_worker = tenants_per_worker
         #: "serial" or "processes[N] chunks[M]" — how the last sweep ran.
         self.last_execution_mode: str = "serial"
         #: Crash/timeout/probation counters from the last pool sweep (see
@@ -994,9 +1067,20 @@ class ExperimentRunner:
         size = self.chunk_size
         if size is None:
             size = max(1, -(-len(specs) // (4 * self.max_workers)))
+            pack = self._pack_limit()
+            if pack > 1:
+                # Chunks sized in whole packs so each worker batch fills its
+                # multi-tenant groups instead of leaving ragged singletons.
+                size = -(-size // pack) * pack
         return [
             tuple(specs[start : start + size]) for start in range(0, len(specs), size)
         ]
+
+    def _pack_limit(self) -> int:
+        """Tenants per in-worker batch (0/1 = multi-tenant packing off)."""
+        if self.tenants_per_worker is None or self.collect_stage_stats:
+            return 0
+        return self.tenants_per_worker
 
     def run_grid(self, scenario: str, **axes: Iterable[Any]) -> list[RunOutcome]:
         """Declare and execute a cross-product grid in one call."""
@@ -1141,7 +1225,9 @@ class _PoolEngine:
         """Submit one chunk; False means the pool is already broken."""
         try:
             future = self.pool.submit(
-                _execute_chunk, tuple(spec for _, spec in chunk.items)
+                _execute_chunk,
+                tuple(spec for _, spec in chunk.items),
+                self.runner._pack_limit(),
             )
         except BrokenProcessPool:
             self.recovery["worker_crashes"] += 1
@@ -1413,7 +1499,7 @@ def timings_summary(outcomes: Sequence[RunOutcome]) -> dict[str, Any]:
                 merged["calls"] += stats["calls"]
         pipeline = {
             name: stages[name]["seconds"]
-            for name in PIPELINE_STAGES + DISPATCH_STAGES
+            for name in PIPELINE_STAGES + DISPATCH_STAGES + DRIVER_STAGES
             if name in stages
         }
         summary["stage_time_shares"] = {

@@ -14,9 +14,18 @@ the :func:`scenario` decorator.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 SCENARIOS: dict[str, Callable[..., Any]] = {}
+
+#: Multi-tenant batch executors: scenario name -> callable taking a list of
+#: parameter dicts and returning one result per dict, in order.  Registered
+#: only for scenarios that benefit from sharing a worker's warmed caches
+#: across several small simulations (see ``ExperimentRunner``'s
+#: ``tenants_per_worker``).  Packs must be semantically identical to
+#: running the scenario per-dict — the runner falls back to per-spec
+#: execution on any pack failure.
+TENANT_PACKS: dict[str, Callable[[list[dict[str, Any]]], list[Any]]] = {}
 
 
 def scenario(name: str) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
@@ -38,6 +47,34 @@ def get_scenario(name: str) -> Callable[..., Any]:
     except KeyError:
         known = ", ".join(sorted(SCENARIOS)) or "(none)"
         raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def tenant_pack(
+    name: str,
+) -> Callable[
+    [Callable[[list[dict[str, Any]]], list[Any]]],
+    Callable[[list[dict[str, Any]]], list[Any]],
+]:
+    """Register a multi-tenant batch executor for scenario ``name``."""
+
+    def register(
+        func: Callable[[list[dict[str, Any]]], list[Any]]
+    ) -> Callable[[list[dict[str, Any]]], list[Any]]:
+        if name not in SCENARIOS:
+            raise ValueError(f"tenant pack for unregistered scenario {name!r}")
+        if name in TENANT_PACKS:
+            raise ValueError(f"tenant pack for {name!r} already registered")
+        TENANT_PACKS[name] = func
+        return func
+
+    return register
+
+
+def get_tenant_pack(
+    name: str,
+) -> Optional[Callable[[list[dict[str, Any]]], list[Any]]]:
+    """The batch executor for ``name``, or ``None`` when it runs per-spec."""
+    return TENANT_PACKS.get(name)
 
 
 # --------------------------------------------------------------------- table2
@@ -283,3 +320,73 @@ def chaos_link_faults(
         "events_processed": simulator.events_processed,
         "final_time": simulator.now,
     }
+
+
+# ----------------------------------------------------------------- population
+@scenario("population_fleet")
+def population_fleet(
+    spec_json: str = "", seed: int = 0, detail_limit: int = 32
+) -> dict[str, Any]:
+    """One heterogeneous client fleet through the run-time attack.
+
+    ``spec_json`` is the canonical serialisation of a
+    :class:`~repro.population.spec.PopulationSpec` (empty = the default
+    single-``ntpd``-equivalent spec); the fleet is generated, simulated on
+    one shared network/heap, and folded into a constant-memory streaming
+    aggregate (see :mod:`repro.population.fleet`).
+    """
+    from repro.population.fleet import run_fleet, spec_from_json
+    from repro.population.spec import PopulationSpec
+
+    spec = spec_from_json(spec_json) if spec_json else PopulationSpec()
+    return run_fleet(spec, seed=seed, detail_limit=detail_limit)
+
+
+@tenant_pack("population_fleet")
+def population_fleet_pack(param_sets: list[dict[str, Any]]) -> list[Any]:
+    """Multi-tenant worker mode: several small fleets, one process.
+
+    Each tenant still builds its own simulator (runs stay pure functions
+    of their parameters), but the pack shares the worker's warmed codec /
+    intern / memo caches and the memoised spec parse across tenants —
+    the per-simulation setup cost a landscape of small cells otherwise
+    pays once per pool task.
+    """
+    return [population_fleet(**params) for params in param_sets]
+
+
+@scenario("population_landscape")
+def population_landscape(
+    spec_json: str = "",
+    axis_x: str = "share:ntpd",
+    x: float = 0.5,
+    axis_y: str = "pool_rate_limit_fraction",
+    y: float = 1.0,
+    seed: int = 0,
+    detail_limit: int = 0,
+) -> dict[str, Any]:
+    """One cell of a population landscape: base spec + two axis overrides.
+
+    The landscape sweep (:func:`repro.population.landscape.sweep_landscape`)
+    fans a grid of these through ``run_stored``; keeping the axis values as
+    first-class run-spec parameters (instead of burying them in per-cell
+    JSON) makes the grid legible in store manifests and reports.
+    """
+    from repro.population.fleet import run_fleet, spec_from_json
+    from repro.population.landscape import apply_axis
+    from repro.population.spec import PopulationSpec
+
+    base = spec_from_json(spec_json) if spec_json else PopulationSpec()
+    spec = apply_axis(apply_axis(base, axis_x, x), axis_y, y)
+    result = run_fleet(spec, seed=seed, detail_limit=detail_limit)
+    result["axis_x"] = axis_x
+    result["x"] = x
+    result["axis_y"] = axis_y
+    result["y"] = y
+    return result
+
+
+@tenant_pack("population_landscape")
+def population_landscape_pack(param_sets: list[dict[str, Any]]) -> list[Any]:
+    """Landscape cells are small fleets — pack them like fleets."""
+    return [population_landscape(**params) for params in param_sets]

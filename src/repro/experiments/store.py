@@ -75,6 +75,64 @@ class StoreError(RuntimeError):
     """The run store is missing, corrupt beyond repair, or misused."""
 
 
+# --------------------------------------------------------------- metric types
+@dataclass(frozen=True)
+class MetricType:
+    """Schema for one named metric: unit and comparison direction.
+
+    Replaces the old convention where a metric was "whatever dotted name
+    holds a float" and every consumer hard-coded which direction is an
+    improvement.  The regression gate reads ``higher_is_better`` instead of
+    assuming throughput semantics, so latency-style metrics (seconds per
+    run) gate correctly the moment they are registered.
+    """
+
+    name: str
+    unit: str = ""
+    higher_is_better: bool = True
+    description: str = ""
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "higher_is_better": self.higher_is_better,
+            "description": self.description,
+        }
+
+
+#: Process-wide registry of metric schemas, keyed by metric name.
+METRIC_TYPES: dict[str, MetricType] = {}
+
+
+def register_metric(
+    name: str,
+    unit: str = "",
+    higher_is_better: bool = True,
+    description: str = "",
+) -> MetricType:
+    """Register (or redefine) the schema for a named metric."""
+    metric = MetricType(
+        name=name,
+        unit=unit,
+        higher_is_better=higher_is_better,
+        description=description,
+    )
+    METRIC_TYPES[name] = metric
+    return metric
+
+
+def metric_type(name: str) -> MetricType:
+    """The registered schema for ``name``.
+
+    Unregistered names fall back to throughput semantics
+    (``higher_is_better=True``, no unit) — the behaviour every consumer
+    hard-coded before metric types existed — so the gate stays safe on
+    metrics recorded by older harness versions.
+    """
+    return METRIC_TYPES.get(name) or MetricType(name=name)
+
+
 # ----------------------------------------------------------------- primitives
 def _fsync_dir(path: str) -> None:
     """Flush directory metadata (new/renamed files) to disk, best effort."""
@@ -700,6 +758,24 @@ class SweepWriter:
     def append(self, index: int, outcome: Any) -> None:
         """Checkpoint-writer protocol: append one finished run outcome."""
         self.append_record(outcome_document(index, outcome))
+
+    def append_aggregate(
+        self,
+        cell: dict[str, Any],
+        aggregate: dict[str, Any],
+        kind: str = "population-aggregate",
+    ) -> None:
+        """Durably append one streaming-aggregate record.
+
+        Population-scale sweeps fold thousands of per-client results into
+        constant-memory aggregates (counts + fixed-bin histograms; see
+        :mod:`repro.population.aggregate`) instead of carrying per-run dict
+        payloads.  ``cell`` identifies the sweep cell the aggregate covers
+        (e.g. the landscape axes values); the record has no ``index`` so
+        outcome loaders skip it and ``sweep_report`` counts it as a metric
+        sample.
+        """
+        self.append_record({"kind": kind, "cell": cell, "aggregate": aggregate})
 
     def finish(self, status: str = "complete") -> None:
         """Close the segment and atomically stamp the terminal status."""

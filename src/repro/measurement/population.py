@@ -21,6 +21,38 @@ import numpy as np
 from repro.netsim.addresses import int_to_ip
 
 # --------------------------------------------------------------------------
+# NTP client market shares (Table I / Rytilahti et al. pool study)
+# --------------------------------------------------------------------------
+
+#: Paper-reported fraction of pool.ntp.org clients per implementation.
+#:
+#: This is the **single source of truth** for default client-type market
+#: shares: the per-class ``pool_usage_share`` attributes on the client models
+#: mirror these values (a cross-check test keeps them in sync), and
+#: :mod:`repro.population.spec` seeds its default ``client_mix`` from here.
+#: The shares do not sum to 1 — the study could not classify every client —
+#: so consumers normalise (see :func:`default_client_mix`).
+PAPER_CLIENT_MARKET_SHARES = {
+    "ntpd": 0.264,
+    "ntpdate": 0.200,
+    "android": 0.140,
+    "chrony": 0.048,
+    "openntpd": 0.044,
+    "ntpclient": 0.012,
+}
+
+
+def default_client_mix() -> dict[str, float]:
+    """The paper marginals renormalised into a probability distribution.
+
+    Returned as a fresh dict (callers may mutate) with shares summing to 1,
+    in the stable order of :data:`PAPER_CLIENT_MARKET_SHARES`.
+    """
+    total = sum(PAPER_CLIENT_MARKET_SHARES.values())
+    return {name: share / total for name, share in PAPER_CLIENT_MARKET_SHARES.items()}
+
+
+# --------------------------------------------------------------------------
 # Open resolvers (Table IV, Figure 6, Figure 7)
 # --------------------------------------------------------------------------
 

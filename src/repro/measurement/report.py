@@ -97,6 +97,47 @@ def sweep_report(
     return "\n".join(header) + "\n" + table
 
 
+def landscape_report(grid: Mapping[str, Any]) -> str:
+    """Render a population landscape grid as a success-probability table.
+
+    ``grid`` is the ``landscape-grid`` document produced by
+    :func:`repro.population.landscape.sweep_landscape` (also appended to
+    the sweep's store records): two named axes plus one cell per (x, y)
+    combination.  Rows are y-axis values, columns x-axis values; cells
+    show the attack success probability (``err`` for failed cells, ``—``
+    for missing ones).
+    """
+    axis_x = grid.get("axis_x") or {}
+    axis_y = grid.get("axis_y") or {}
+    x_values = list(axis_x.get("values") or [])
+    y_values = list(axis_y.get("values") or [])
+    by_xy: dict[tuple[float, float], Mapping[str, Any]] = {}
+    for cell in grid.get("cells") or []:
+        by_xy[(cell.get("x"), cell.get("y"))] = cell
+    headers = [f"{axis_y.get('name', 'y')} \\ {axis_x.get('name', 'x')}"] + [
+        f"{x:g}" for x in x_values
+    ]
+    rows = []
+    for y in y_values:
+        row: list[object] = [f"{y:g}"]
+        for x in x_values:
+            cell = by_xy.get((x, y))
+            if cell is None:
+                row.append("—")
+            elif cell.get("error"):
+                row.append("err")
+            else:
+                rate = cell.get("success_rate")
+                row.append(
+                    format_percentage(rate, 1)
+                    if isinstance(rate, (int, float))
+                    else "—"
+                )
+        rows.append(row)
+    title = f"landscape {grid.get('name', '')}".strip()
+    return format_table(headers, rows, title=title)
+
+
 def trend_report(
     history: Mapping[str, Sequence[float]],
     fresh: Optional[Mapping[str, float]] = None,

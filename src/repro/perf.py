@@ -52,6 +52,15 @@ PIPELINE_STAGES = ("defrag", "checksum", "demux", "handler")
 #: ``faults`` the per-packet fault-channel decisions on faulted links
 #: (zero on every fault-free run; see :mod:`repro.netsim.faults`).
 DISPATCH_STAGES = ("heap", "burst_drain", "faults")
+#: Driver-side stages split out of the remaining ``dispatch_other`` bucket:
+#: scenario/attack-campaign logic that runs *between* deliveries.
+#: ``campaign_send`` is the association-removal campaign's spoofed-query
+#: crafting + burst hand-off (:class:`repro.core.rate_limit_abuse.
+#: AssociationRemover` — arithmetic packet construction, no codec calls, so
+#: the bucket never double-counts encode time), and ``progress_check`` the
+#: periodic attack-progress polling of
+#: :class:`repro.core.run_time.RunTimeAttack`.
+DRIVER_STAGES = ("campaign_send", "progress_check")
 
 #: Prune threshold for the attached-source registry (dead weakrefs).
 _ATTACH_PRUNE_THRESHOLD = 4096
@@ -95,7 +104,7 @@ def stage_shares(
         "encode": round(encode_seconds / wall_time, 4),
     }
     attributed = decode_seconds + encode_seconds
-    for stage in PIPELINE_STAGES + DISPATCH_STAGES:
+    for stage in PIPELINE_STAGES + DISPATCH_STAGES + DRIVER_STAGES:
         seconds = pipeline_seconds.get(stage, 0.0)
         if stage == "handler":
             # Handlers invoke the codecs; keep the buckets disjoint.
@@ -236,7 +245,7 @@ class StageCounters:
         if wall_time is not None and wall_time > 0:
             pipeline = {
                 stage: times.get(stage, 0.0)
-                for stage in PIPELINE_STAGES + DISPATCH_STAGES
+                for stage in PIPELINE_STAGES + DISPATCH_STAGES + DRIVER_STAGES
             }
             attribution = stage_shares(decode, encode, wall_time, pipeline)
             document["wall_time_seconds"] = attribution["wall_time_seconds"]
@@ -258,5 +267,6 @@ __all__ = [
     "ENCODE_STAGES",
     "PIPELINE_STAGES",
     "DISPATCH_STAGES",
+    "DRIVER_STAGES",
     "stage_shares",
 ]

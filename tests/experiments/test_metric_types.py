@@ -1,0 +1,115 @@
+"""Metric-type registry and the direction-aware regression gate."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.experiments.store import (
+    METRIC_TYPES,
+    MetricType,
+    metric_type,
+    register_metric,
+)
+
+BENCHMARKS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks",
+)
+sys.path.insert(0, BENCHMARKS_DIR)
+
+import check_regression  # noqa: E402
+from check_regression import compare, goodness_change, trend_compare  # noqa: E402
+
+
+@pytest.fixture
+def registered(request):
+    """Register a metric for one test and clean it up afterwards."""
+
+    def _register(name: str, **kwargs) -> MetricType:
+        request.addfinalizer(lambda: METRIC_TYPES.pop(name, None))
+        return register_metric(name, **kwargs)
+
+    return _register
+
+
+class TestMetricTypeRegistry:
+    def test_register_and_lookup(self, registered):
+        registered("bench.latency_seconds", unit="s", higher_is_better=False)
+        found = metric_type("bench.latency_seconds")
+        assert found.unit == "s"
+        assert found.higher_is_better is False
+        assert found.to_document()["higher_is_better"] is False
+
+    def test_unregistered_names_fall_back_to_throughput_semantics(self):
+        fallback = metric_type("bench.never_registered")
+        assert fallback.higher_is_better is True
+        assert fallback.unit == ""
+
+    def test_gated_metrics_are_registered_with_units(self):
+        # Importing check_regression registers every gated metric's schema.
+        for path in check_regression.THROUGHPUT_METRICS:
+            name = ".".join(path)
+            assert name in METRIC_TYPES
+            assert METRIC_TYPES[name].unit.endswith("/sec")
+        clients = metric_type("experiments.population_fleet.result.clients_per_sec")
+        assert clients.unit == "clients/sec"
+
+
+class TestGoodnessChange:
+    def test_higher_is_better_keeps_raw_sign(self):
+        assert goodness_change("bench.unregistered", 100.0, 80.0) == pytest.approx(
+            -0.2
+        )
+
+    def test_lower_is_better_flips_sign(self, registered):
+        registered("bench.latency_seconds", higher_is_better=False)
+        assert goodness_change("bench.latency_seconds", 1.0, 1.5) == pytest.approx(
+            -0.5
+        )
+        assert goodness_change("bench.latency_seconds", 1.0, 0.8) == pytest.approx(
+            0.2
+        )
+
+
+class TestDirectionAwareGate:
+    def _gate_on(self, monkeypatch, name: str):
+        monkeypatch.setattr(
+            check_regression, "THROUGHPUT_METRICS", (tuple(name.split(".")),)
+        )
+
+    def test_latency_increase_is_a_regression(self, monkeypatch, registered):
+        registered("microbenchmarks.fake_latency", unit="s", higher_is_better=False)
+        self._gate_on(monkeypatch, "microbenchmarks.fake_latency")
+        base = {"microbenchmarks": {"fake_latency": 1.0}}
+        slower = {"microbenchmarks": {"fake_latency": 1.5}}
+        faster = {"microbenchmarks": {"fake_latency": 0.8}}
+        regressions, _ = compare(base, slower)
+        assert len(regressions) == 1
+        improvements, _ = compare(base, faster)
+        assert improvements == []
+
+    def test_trend_gate_flips_direction_too(self, monkeypatch, registered):
+        registered("microbenchmarks.fake_latency", unit="s", higher_is_better=False)
+        self._gate_on(monkeypatch, "microbenchmarks.fake_latency")
+        history = [
+            {"metrics": {"microbenchmarks.fake_latency": value}}
+            for value in (1.0, 1.02, 0.98, 1.01, 0.99)
+        ]
+        base = {"microbenchmarks": {"fake_latency": 1.0}}
+        slower = {"microbenchmarks": {"fake_latency": 2.0}}
+        regressions, _ = trend_compare(base, slower, history)
+        assert len(regressions) == 1
+        faster = {"microbenchmarks": {"fake_latency": 0.5}}
+        regressions, _ = trend_compare(base, faster, history)
+        assert regressions == []
+
+    def test_throughput_direction_unchanged(self, monkeypatch):
+        self._gate_on(monkeypatch, "microbenchmarks.packets_per_sec")
+        base = {"microbenchmarks": {"packets_per_sec": 100.0}}
+        regressions, _ = compare(base, {"microbenchmarks": {"packets_per_sec": 70.0}})
+        assert len(regressions) == 1
+        regressions, _ = compare(base, {"microbenchmarks": {"packets_per_sec": 130.0}})
+        assert regressions == []

@@ -1,0 +1,198 @@
+"""Streaming aggregates: histograms, merges, and numpy-free operation."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.population.aggregate import FixedBinHistogram, StreamingAggregate
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+class TestFixedBinHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedBinHistogram(0.0, 10.0, 0)
+        with pytest.raises(ValueError):
+            FixedBinHistogram(5.0, 5.0, 4)
+
+    def test_add_routes_to_bins_and_overflow(self):
+        histogram = FixedBinHistogram(0.0, 10.0, 10)
+        for value in (-1.0, 0.0, 5.5, 9.999, 10.0, 42.0):
+            histogram.add(value)
+        assert histogram.total == 6
+        assert histogram.underflow == 1
+        assert histogram.overflow == 2
+        assert histogram.counts[0] == 1
+        assert histogram.counts[5] == 1
+        assert histogram.counts[9] == 1
+
+    def test_add_many_matches_add(self):
+        values = [x * 0.37 - 3.0 for x in range(200)]
+        one_by_one = FixedBinHistogram(0.0, 50.0, 25)
+        for value in values:
+            one_by_one.add(value)
+        bulk = FixedBinHistogram(0.0, 50.0, 25)
+        bulk.add_many(values)
+        assert bulk.to_document() == one_by_one.to_document()
+
+    def test_merge_is_associative_accumulation(self):
+        a = FixedBinHistogram(0.0, 10.0, 10)
+        b = FixedBinHistogram(0.0, 10.0, 10)
+        a.add_many([1.0, 2.0, 11.0])
+        b.add_many([-1.0, 2.0, 3.0])
+        merged = FixedBinHistogram.from_document(a.to_document())
+        merged.merge(b)
+        everything = FixedBinHistogram(0.0, 10.0, 10)
+        everything.add_many([1.0, 2.0, 11.0, -1.0, 2.0, 3.0])
+        assert merged.to_document() == everything.to_document()
+
+    def test_merge_rejects_mismatched_binning(self):
+        with pytest.raises(ValueError, match="different binning"):
+            FixedBinHistogram(0.0, 10.0, 10).merge(FixedBinHistogram(0.0, 10.0, 5))
+
+    def test_quantiles(self):
+        histogram = FixedBinHistogram(0.0, 100.0, 100)
+        histogram.add_many(float(v) for v in range(100))
+        assert histogram.quantile(0.0) == pytest.approx(0.5)
+        assert histogram.quantile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert histogram.quantile(1.0) == pytest.approx(99.5, abs=1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+
+    def test_quantile_empty_is_none(self):
+        assert FixedBinHistogram(0.0, 1.0, 4).quantile(0.5) is None
+
+    def test_quantile_clamps_to_edges_for_outliers(self):
+        histogram = FixedBinHistogram(0.0, 10.0, 10)
+        histogram.add_many([-5.0, -4.0, 20.0, 30.0])
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_document_round_trip(self):
+        histogram = FixedBinHistogram(-5.0, 5.0, 20)
+        histogram.add_many([-6.0, -1.0, 0.0, 4.9, 5.0])
+        restored = FixedBinHistogram.from_document(histogram.to_document())
+        assert restored.to_document() == histogram.to_document()
+
+    def test_from_document_rejects_wrong_count_length(self):
+        document = FixedBinHistogram(0.0, 1.0, 4).to_document()
+        document["counts"] = [0, 0]
+        with pytest.raises(ValueError):
+            FixedBinHistogram.from_document(document)
+
+
+class TestStreamingAggregate:
+    def test_fold_counts_and_rates(self):
+        aggregate = StreamingAggregate()
+        aggregate.fold("ntpd", True, shift=-500.0, minutes=15.5)
+        aggregate.fold("ntpd", False)
+        aggregate.fold("chrony", True, shift=100.0, minutes=60.0)
+        assert aggregate.total == 3
+        assert aggregate.successes == 2
+        assert aggregate.success_rate == pytest.approx(2 / 3)
+        document = aggregate.to_document()
+        assert document["by_type"]["ntpd"] == {"runs": 2, "successes": 1}
+        assert document["by_type"]["chrony"] == {"runs": 1, "successes": 1}
+        assert document["shift_histogram"]["total"] == 2
+
+    def test_merge_equals_single_fold(self):
+        left, right, everything = (
+            StreamingAggregate(),
+            StreamingAggregate(),
+            StreamingAggregate(),
+        )
+        rows = [
+            ("ntpd", True, -400.0, 20.0),
+            ("chrony", False, None, None),
+            ("ntpd", True, -510.0, 16.0),
+            ("android", False, 3.0, 180.0),
+        ]
+        for index, (kind, ok, shift, minutes) in enumerate(rows):
+            target = left if index % 2 == 0 else right
+            target.fold(kind, ok, shift=shift, minutes=minutes)
+            everything.fold(kind, ok, shift=shift, minutes=minutes)
+        left.merge(right)
+        assert left.to_document() == everything.to_document()
+
+    def test_document_round_trip(self):
+        aggregate = StreamingAggregate()
+        aggregate.fold("ntpd", True, shift=-500.0, minutes=15.5)
+        restored = StreamingAggregate.from_document(aggregate.to_document())
+        assert restored.to_document() == aggregate.to_document()
+
+    def test_empty_aggregate(self):
+        aggregate = StreamingAggregate()
+        assert aggregate.success_rate == 0.0
+        assert aggregate.to_document()["shift_quantiles"]["p50"] is None
+
+
+BLOCKER_PRELUDE = """
+import importlib.abc
+import os
+import sys
+import types
+
+class _NumpyBlocker(importlib.abc.MetaPathFinder):
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError(f"numpy blocked for this test ({name})")
+        return None
+
+sys.meta_path.insert(0, _NumpyBlocker())
+assert "numpy" not in sys.modules
+
+# aggregate.py imports nothing else from repro, so only its parent
+# packages need stubbing past their __init__ (which pull in the
+# numpy-requiring simulator).
+_SRC = os.environ["PYTHONPATH"]
+for _name in ("repro", "repro.population"):
+    _pkg = types.ModuleType(_name)
+    _pkg.__path__ = [os.path.join(_SRC, *_name.split("."))]
+    _pkg.__package__ = _name
+    sys.modules[_name] = _pkg
+"""
+
+
+class TestAggregateWithoutNumpy:
+    def test_fold_and_quantiles_without_numpy(self):
+        # The pure-python fold must import, aggregate, and produce the
+        # exact document the vectorised path produces in this process.
+        script = """
+import json
+from repro.population import aggregate
+
+assert aggregate.np is None
+histogram = aggregate.FixedBinHistogram(0.0, 50.0, 25)
+histogram.add_many(x * 0.37 - 3.0 for x in range(200))
+folded = aggregate.StreamingAggregate()
+folded.fold("ntpd", True, shift=-500.0, minutes=15.5)
+folded.fold("chrony", False, shift=2.0, minutes=None)
+print(json.dumps({
+    "histogram": histogram.to_document(),
+    "aggregate": folded.to_document(),
+}))
+"""
+        env = dict(os.environ, PYTHONPATH=os.path.abspath(REPO_SRC))
+        process = subprocess.run(
+            [sys.executable, "-c", BLOCKER_PRELUDE + script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        assert process.returncode == 0, process.stderr
+        blocked = json.loads(process.stdout)
+
+        histogram = FixedBinHistogram(0.0, 50.0, 25)
+        histogram.add_many(x * 0.37 - 3.0 for x in range(200))
+        folded = StreamingAggregate()
+        folded.fold("ntpd", True, shift=-500.0, minutes=15.5)
+        folded.fold("chrony", False, shift=2.0, minutes=None)
+        assert blocked["histogram"] == histogram.to_document()
+        assert blocked["aggregate"] == folded.to_document()

@@ -1,0 +1,116 @@
+"""Fleet simulation and its engine integration (scenarios, tenant packs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunSpec, _execute_chunk
+from repro.experiments.scenarios import get_scenario, get_tenant_pack
+from repro.population.fleet import run_fleet, spec_from_json
+from repro.population.spec import ChurnSpec, PopulationSpec
+
+
+def _small_spec(**overrides) -> PopulationSpec:
+    kwargs = dict(
+        size=6,
+        client_mix={"ntpd": 0.5, "chrony": 0.3, "systemd-timesyncd": 0.2},
+        poll_jitter=0.1,
+        pool_size=8,
+        warmup_seconds=120.0,
+        max_duration_hours=0.05,
+    )
+    kwargs.update(overrides)
+    return PopulationSpec(**kwargs)
+
+
+class TestRunFleet:
+    def test_deterministic_for_fixed_spec_and_seed(self):
+        spec = _small_spec(churn=ChurnSpec(late_join_fraction=0.3))
+        assert run_fleet(spec, seed=3) == run_fleet(spec, seed=3)
+
+    def test_document_shape_with_details(self):
+        spec = _small_spec()
+        document = run_fleet(spec, seed=1)
+        assert document["size"] == 6
+        assert document["spec_digest"] == spec.digest()
+        assert sum(document["type_counts"].values()) == 6
+        assert len(document["clients"]) == 6
+        aggregate = document["aggregate"]
+        assert aggregate["total"] == 6
+        assert aggregate["successes"] == document["successes"]
+        assert document["events_processed"] > 0
+        assert document["packets_transmitted"] > 0
+
+    def test_details_dropped_beyond_limit(self):
+        document = run_fleet(_small_spec(), seed=1, detail_limit=3)
+        assert "clients" not in document
+        assert document["aggregate"]["total"] == 6
+
+    def test_heterogeneous_link_and_fault_mixes_run(self):
+        spec = _small_spec(
+            link_mix={"default": 0.5, "mobile": 0.5},
+            fault_mix={"clean": 0.5, "bursty": 0.25, "jittery": 0.25},
+        )
+        document = run_fleet(spec, seed=2)
+        assert document["aggregate"]["total"] == 6
+
+    def test_spec_from_json_memoises(self):
+        text = _small_spec().to_json()
+        assert spec_from_json(text) is spec_from_json(text)
+        assert spec_from_json(text) == PopulationSpec.from_json(text)
+
+
+class TestEngineIntegration:
+    def test_population_fleet_scenario_matches_direct_call(self):
+        spec = _small_spec()
+        scenario = get_scenario("population_fleet")
+        assert scenario(spec_json=spec.to_json(), seed=4) == run_fleet(spec, seed=4)
+
+    def test_tenant_pack_matches_per_spec_execution(self):
+        # The multi-tenant worker path is an optimisation, never a
+        # semantic change: packed outcomes must equal per-spec outcomes.
+        spec_json = _small_spec().to_json()
+        specs = tuple(
+            RunSpec.make("population_fleet", spec_json=spec_json, seed=seed)
+            for seed in range(3)
+        )
+        packed = _execute_chunk(specs, pack_tenants=3)
+        plain = _execute_chunk(specs)
+        assert [outcome.result for outcome in packed] == [
+            outcome.result for outcome in plain
+        ]
+        assert all(outcome.ok for outcome in packed)
+        assert all(outcome.wall_time > 0 for outcome in packed)
+
+    def test_tenant_pack_registered_for_population_scenarios(self):
+        assert get_tenant_pack("population_fleet") is not None
+        assert get_tenant_pack("population_landscape") is not None
+        assert get_tenant_pack("no_such_scenario") is None
+
+    def test_pool_run_with_tenants_per_worker(self):
+        spec_json = _small_spec(size=3).to_json()
+        specs = [
+            RunSpec.make("population_fleet", spec_json=spec_json, seed=seed)
+            for seed in range(4)
+        ]
+        serial = ExperimentRunner(max_workers=1).run(specs)
+        packed_runner = ExperimentRunner(max_workers=2, tenants_per_worker=2)
+        packed = packed_runner.run(specs)
+        assert packed_runner.last_execution_mode.startswith("processes")
+        assert [outcome.result for outcome in packed] == [
+            outcome.result for outcome in serial
+        ]
+
+    def test_stage_stats_disable_packing(self):
+        runner = ExperimentRunner(
+            max_workers=2, tenants_per_worker=4, collect_stage_stats=True
+        )
+        assert runner._pack_limit() == 0
+        assert ExperimentRunner(max_workers=2)._pack_limit() == 0
+        assert (
+            ExperimentRunner(max_workers=2, tenants_per_worker=4)._pack_limit() == 4
+        )
+
+    def test_tenants_per_worker_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentRunner(tenants_per_worker=0)
