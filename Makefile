@@ -21,11 +21,17 @@
 #                      grid of heterogeneous mini-fleets through the
 #                      durable experiment engine, printed as a
 #                      success-probability table
+#   make chaos-campaign  small chaos campaign end-to-end: a two-phase
+#                      ChaosPlan (calm, then an AS-partition storm) over a
+#                      mini-fleet, checkpointed through the run store and
+#                      printed as a per-phase degradation report; resume a
+#                      killed campaign with
+#                      `python -m repro.population.chaos --resume SWEEP_ID`
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test regression regression-trend bench bench-refresh bench-burst chaos store-fsck population-smoke
+.PHONY: test regression regression-trend bench bench-refresh bench-burst chaos store-fsck population-smoke chaos-campaign
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -57,3 +63,6 @@ bench-burst:
 
 population-smoke:
 	$(PYTHON) -m repro.population.landscape
+
+chaos-campaign:
+	$(PYTHON) -m repro.population.chaos

@@ -811,6 +811,7 @@ class ExperimentRunner:
         seed: Optional[int] = None,
         fault_plan: Optional[Any] = None,
         metadata: Optional[dict[str, Any]] = None,
+        finish: bool = True,
     ) -> list[RunOutcome]:
         """Execute a sweep writing through a durable
         :class:`~repro.experiments.store.RunStore`.
@@ -822,6 +823,12 @@ class ExperimentRunner:
         ``cancelled`` (and :meth:`resume_stored` continues the sweep);
         any other failure stamps ``failed``.  The sweep id lands in
         :attr:`last_sweep_id`.
+
+        ``finish=False`` leaves a successful sweep stamped ``running`` so
+        the caller can append derived records (aggregates, summaries)
+        before stamping ``complete`` itself — a crash in that window then
+        resumes instead of masquerading as a finished sweep.  Cancellation
+        and failure stamp their statuses regardless.
         """
         specs = list(specs)
         writer = store.begin_sweep(
@@ -833,13 +840,17 @@ class ExperimentRunner:
             metadata=metadata,
         )
         self.last_sweep_id = writer.sweep_id
-        return self._run_through_store(store, writer.sweep_id, specs, writer, {})
+        return self._run_through_store(
+            store, writer.sweep_id, specs, writer, {}, finish=finish
+        )
 
     def resume_stored(
         self,
         store: Any,
         sweep_id: str,
         specs: Optional[Sequence[RunSpec]] = None,
+        *,
+        finish: bool = True,
     ) -> list[RunOutcome]:
         """Continue a store-backed sweep from its recorded outcomes.
 
@@ -861,7 +872,9 @@ class ExperimentRunner:
             )
         writer = store.open_sweep(sweep_id)
         self.last_sweep_id = sweep_id
-        return self._run_through_store(store, sweep_id, specs, writer, done)
+        return self._run_through_store(
+            store, sweep_id, specs, writer, done, finish=finish
+        )
 
     def _run_through_store(
         self,
@@ -870,6 +883,7 @@ class ExperimentRunner:
         specs: list[RunSpec],
         writer: Any,
         done: dict[int, RunOutcome],
+        finish: bool = True,
     ) -> list[RunOutcome]:
         try:
             outcomes = self._run(specs, writer, done)
@@ -879,7 +893,8 @@ class ExperimentRunner:
         except BaseException:
             store.finish_sweep(sweep_id, "failed")
             raise
-        store.finish_sweep(sweep_id, "complete")
+        if finish:
+            store.finish_sweep(sweep_id, "complete")
         return outcomes
 
     def _run(

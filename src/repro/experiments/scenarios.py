@@ -390,3 +390,41 @@ def population_landscape(
 def population_landscape_pack(param_sets: list[dict[str, Any]]) -> list[Any]:
     """Landscape cells are small fleets — pack them like fleets."""
     return [population_landscape(**params) for params in param_sets]
+
+
+@scenario("population_chaos")
+def population_chaos(
+    spec_json: str = "",
+    plan_json: str = "",
+    seed: int = 0,
+    until: float = 0.0,
+    checkpoint: int = 0,
+    detail_limit: int = 0,
+) -> dict[str, Any]:
+    """One chaos-campaign checkpoint: the fleet simulated over ``[0, until]``.
+
+    ``plan_json`` is the canonical serialisation of a
+    :class:`~repro.population.chaos.ChaosPlan`; the plan compiles purely
+    into per-client fault schedules before the fleet runs, so the result
+    is a pure function of the parameters — which is what lets
+    ``run_chaos_campaign`` resume a killed campaign bit-identically.
+    ``checkpoint`` is the ordinal within the campaign (carried through to
+    the stored record; the simulation ignores it).
+    """
+    from repro.population.chaos import ChaosPlan, plan_from_json, run_chaos_checkpoint
+    from repro.population.fleet import spec_from_json
+    from repro.population.spec import PopulationSpec
+
+    spec = spec_from_json(spec_json) if spec_json else PopulationSpec()
+    plan = plan_from_json(plan_json) if plan_json else ChaosPlan()
+    result = run_chaos_checkpoint(
+        spec, plan, seed=seed, until=until, detail_limit=detail_limit
+    )
+    result["checkpoint"] = checkpoint
+    return result
+
+
+@tenant_pack("population_chaos")
+def population_chaos_pack(param_sets: list[dict[str, Any]]) -> list[Any]:
+    """Checkpoint prefixes are independent fleets — pack them like fleets."""
+    return [population_chaos(**params) for params in param_sets]

@@ -577,6 +577,24 @@ class RunStore:
             )
         return done
 
+    def kind_records(
+        self,
+        sweep_id: str,
+        kind: str,
+        repairs: Optional[list[RepairEvent]] = None,
+    ) -> list[dict[str, Any]]:
+        """Free-form records of one ``kind``, in append order.
+
+        Campaign drivers tag their derived records (phase aggregates,
+        summaries) with a ``kind`` key; this filters them out of the mixed
+        outcome/record stream without the caller re-implementing the scan.
+        """
+        return [
+            record
+            for record in self.records(sweep_id, repairs=repairs)
+            if "index" not in record and record.get("kind") == kind
+        ]
+
     def metric_history(
         self, sweep_id: str, metric: str, limit: Optional[int] = None
     ) -> list[float]:

@@ -138,6 +138,61 @@ def landscape_report(grid: Mapping[str, Any]) -> str:
     return format_table(headers, rows, title=title)
 
 
+def degradation_report(campaign: Mapping[str, Any]) -> str:
+    """Render a chaos campaign's per-checkpoint degradation timeline.
+
+    ``campaign`` is the ``chaos-campaign-summary`` document
+    :func:`repro.population.chaos.run_chaos_campaign` returns (and appends
+    to the sweep's store records).  One row per checkpoint: simulated time,
+    covering phase, fleet-wide shift success, cumulative fault drops, and
+    one per-group survival column (the group's attack *success* rate — the
+    fraction of its clients the attacker still shifted despite the faults)
+    per correlation group seen anywhere in the campaign.
+    """
+    checkpoints = list(campaign.get("checkpoints") or [])
+    group_names = sorted(
+        {
+            name
+            for entry in checkpoints
+            for name in (entry.get("groups") or {})
+        }
+    )
+    headers = ["t (s)", "phase", "success", "fault drops"] + [
+        f"{name} ok" for name in group_names
+    ]
+    rows = []
+    for entry in checkpoints:
+        if entry.get("error"):
+            rows.append(
+                [f"{entry.get('until', 0):g}", "err", "—", "—"]
+                + ["—"] * len(group_names)
+            )
+            continue
+        stats = entry.get("fault_stats") or {}
+        drops = int(stats.get("dropped_partition", 0)) + int(
+            stats.get("dropped_loss", 0)
+        )
+        rate = entry.get("success_rate")
+        row: list[object] = [
+            f"{entry.get('until', 0):g}",
+            entry.get("phase") or "—",
+            format_percentage(rate, 1) if isinstance(rate, (int, float)) else "—",
+            drops,
+        ]
+        groups = entry.get("groups") or {}
+        for name in group_names:
+            group = groups.get(name)
+            group_rate = (group or {}).get("success_rate")
+            row.append(
+                format_percentage(group_rate, 1)
+                if isinstance(group_rate, (int, float))
+                else "—"
+            )
+        rows.append(row)
+    title = f"chaos campaign {campaign.get('name', '')}".strip()
+    return format_table(headers, rows, title=title)
+
+
 def trend_report(
     history: Mapping[str, Sequence[float]],
     fresh: Optional[Mapping[str, float]] = None,

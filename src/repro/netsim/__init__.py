@@ -40,6 +40,7 @@ from repro.netsim.faults import (
     Duplication,
     FaultChannel,
     FaultPlan,
+    FaultSchedule,
     FaultStats,
     GilbertElliott,
     LatencySpike,
@@ -83,6 +84,7 @@ __all__ = [
     "Duplication",
     "FaultChannel",
     "FaultPlan",
+    "FaultSchedule",
     "FaultStats",
     "GilbertElliott",
     "LatencySpike",

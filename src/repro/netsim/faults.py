@@ -53,8 +53,8 @@ graceful degradation are the two design rules:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, fields
+from typing import Any, Mapping, Optional
 
 from repro.netsim.errors import FaultConfigError
 from repro.netsim.packet import IPv4Packet
@@ -334,6 +334,15 @@ class FaultStats:
         self.reordered += other.reordered
         self.spike_delayed += other.spike_delayed
 
+    def to_document(self) -> dict[str, int]:
+        """JSON-safe counter document (field names, no derived values)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "FaultStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: int(v) for k, v in document.items() if k in known})
+
 
 # ------------------------------------------------------------------ channel
 class FaultChannel:
@@ -438,3 +447,73 @@ class FaultChannel:
         copy = packet.copy(payload=bytes(corrupted))
         copy.metadata["corrupted"] = True  # ground truth for experiments
         return copy
+
+
+# ----------------------------------------------------------------- schedules
+class FaultSchedule:
+    """An ordered sequence of fault-regime swaps for one link.
+
+    Each entry is ``(time, components)``: at simulated ``time`` the link's
+    fault plan is replaced by a plan composed from ``components`` (an
+    empty tuple retires all faults — the link heals).  Times are absolute
+    simulator-clock instants, strictly increasing; entries at or before
+    "now" apply immediately when the schedule is attached, later entries
+    become scheduled events (see :meth:`repro.netsim.network.Network.
+    apply_fault_schedule`).  Swaps preserve the pair's accumulated
+    :class:`FaultStats` and draw from fresh epoch-tagged named streams,
+    so a multi-phase campaign neither zeroes its counters nor rewinds a
+    channel's randomness mid-run.
+
+    A schedule whose every entry composes to an inert plan is *inert*
+    (:attr:`is_inert`): attaching it does nothing at all, preserving the
+    bit-identity of fault-free runs.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries) -> None:
+        normalised: list[tuple[float, tuple]] = []
+        previous = None
+        for entry in entries:
+            try:
+                time, components = entry
+            except (TypeError, ValueError) as exc:
+                raise FaultConfigError(
+                    f"schedule entries are (time, components) pairs, got {entry!r}"
+                ) from exc
+            time = float(time)
+            _check_non_negative("schedule entry time", time)
+            if previous is not None and time <= previous:
+                raise FaultConfigError(
+                    f"schedule entry times must be strictly increasing, got "
+                    f"{time} after {previous}"
+                )
+            previous = time
+            if isinstance(components, FaultPlan):
+                raise FaultConfigError(
+                    "schedule entries carry loose components (they are "
+                    "re-composed per link), not pre-built FaultPlans"
+                )
+            components = tuple(components)
+            FaultPlan(*components)  # validate types now, not at swap time
+            normalised.append((time, components))
+        self.entries = tuple(normalised)
+
+    @property
+    def is_inert(self) -> bool:
+        """True when no entry would ever attach an active component."""
+        return all(
+            FaultPlan(*components).is_inert for _, components in self.entries
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{time:g}s:{len(components)}c" for time, components in self.entries
+        )
+        return f"<FaultSchedule {parts or 'empty'}>"

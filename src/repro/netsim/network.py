@@ -112,6 +112,14 @@ class Network:
         #: channel RNG position survive pipeline invalidation (topology
         #: edits, cache overflow from spoofing sweeps).
         self._fault_channels: dict[tuple[str, str], FaultChannel] = {}
+        #: Counters of channels retired by scheduled regime swaps
+        #: (:meth:`swap_link_faults`), folded into :meth:`fault_stats` so a
+        #: multi-phase chaos campaign never loses accounting mid-run.
+        self._retired_fault_stats: dict[tuple[str, str], FaultStats] = {}
+        #: Per-directed-pair swap epoch; epoch N > 0 derives the channel's
+        #: named stream as ``faults:src>dst@N`` so a swapped-in plan gets
+        #: fresh draws instead of rewinding the pair's original stream.
+        self._fault_epochs: dict[tuple[str, str], int] = {}
         self._captures: list[PacketCapture] = []
         self._rng = simulator.spawn_rng()
         self.packets_transmitted = 0
@@ -219,17 +227,105 @@ class Network:
         )
         return plan
 
+    def swap_link_faults(self, ip_a: str, ip_b: str, *components) -> FaultPlan:
+        """Replace a link's fault plan mid-run (a scheduled regime swap).
+
+        Like :meth:`set_link_faults`, but built for phased chaos regimes:
+        the accumulated :class:`FaultStats` of both directed pairs are
+        folded into a retired-counters ledger (so :meth:`fault_stats` and
+        :meth:`pair_fault_stats` keep counting across swaps), and the
+        replacement channels draw from fresh *epoch-tagged* named streams
+        (``faults:src>dst@N``) instead of restarting — and thereby
+        replaying — the pair's original stream.  An empty call retires
+        the faults entirely (the link heals).
+        """
+        for pair in ((ip_a, ip_b), (ip_b, ip_a)):
+            channel = self._fault_channels.pop(pair, None)
+            if channel is not None:
+                retired = self._retired_fault_stats.get(pair)
+                if retired is None:
+                    retired = self._retired_fault_stats[pair] = FaultStats()
+                retired.merge(channel.stats)
+            self._fault_epochs[pair] = self._fault_epochs.get(pair, 0) + 1
+        return self.set_link_faults(ip_a, ip_b, *components)
+
+    def apply_fault_schedule(
+        self, ip_a: str, ip_b: str, schedule, extra: tuple = ()
+    ) -> None:
+        """Attach a :class:`~repro.netsim.faults.FaultSchedule` to a link.
+
+        Entries at or before the current instant apply immediately via
+        :meth:`set_link_faults`; later entries become simulator events
+        firing :meth:`swap_link_faults` at their absolute times.  ``extra``
+        components (e.g. the client's base fault regime from its
+        population spec) are composed into *every* entry's plan, so a
+        scheduled chaos overlay layers on top of — rather than silently
+        clearing — the link's standing faults.  An inert schedule attaches
+        nothing and schedules nothing: fault-free runs stay bit-identical.
+        """
+        if schedule.is_inert:
+            return
+        extra = tuple(extra)
+        now = self.simulator.now
+        for time, components in schedule.entries:
+            merged = extra + tuple(components)
+            if time <= now:
+                self.set_link_faults(ip_a, ip_b, *merged)
+            else:
+                self.simulator.schedule(
+                    time - now,
+                    self.swap_link_faults,
+                    label="fault-regime-swap",
+                    args=(ip_a, ip_b, *merged),
+                )
+
     def fault_channel(self, src: str, dst: str) -> Optional[FaultChannel]:
         """The live channel for one directed pair (None until traffic flows
         — channels materialise at first pipeline compile)."""
         return self._fault_channels.get((src, dst))
 
     def fault_stats(self) -> FaultStats:
-        """Aggregate fault counters across every channel in the network."""
+        """Aggregate fault counters across every channel in the network.
+
+        Includes channels retired by scheduled regime swaps — the total is
+        monotone across a phased campaign.
+        """
         total = FaultStats()
+        for stats in self._retired_fault_stats.values():
+            total.merge(stats)
         for channel in self._fault_channels.values():
             total.merge(channel.stats)
         return total
+
+    def pair_fault_stats(self, src: str, dst: str) -> FaultStats:
+        """Accumulated counters for one directed pair (retired + live)."""
+        total = FaultStats()
+        retired = self._retired_fault_stats.get((src, dst))
+        if retired is not None:
+            total.merge(retired)
+        channel = self._fault_channels.get((src, dst))
+        if channel is not None:
+            total.merge(channel.stats)
+        return total
+
+    def per_pair_fault_stats(self) -> dict[tuple[str, str], FaultStats]:
+        """Merged (retired + live) counters for every directed pair seen.
+
+        This is what surfaces per-link fault evidence into population
+        aggregates: callers group the directed pairs however they like
+        (per client, per correlation group) and merge.
+        """
+        merged: dict[tuple[str, str], FaultStats] = {}
+        for pair, stats in self._retired_fault_stats.items():
+            copy = FaultStats()
+            copy.merge(stats)
+            merged[pair] = copy
+        for pair, channel in self._fault_channels.items():
+            copy = merged.get(pair)
+            if copy is None:
+                copy = merged[pair] = FaultStats()
+            copy.merge(channel.stats)
+        return merged
 
     # ------------------------------------------------------------ pipelines
     def pipeline_for(self, src: str, dst: str) -> DeliveryPipeline:
@@ -282,9 +378,17 @@ class Network:
                 # experimenter replaced it — start a fresh channel.
                 channel = self._fault_channels.get((src, dst))
                 if channel is None or channel.plan is not plan:
+                    # Epoch 0 keeps the original stream name (bit-identity
+                    # with pre-swap behaviour); swapped-in plans get their
+                    # own stream so they never replay earlier draws.
+                    epoch = self._fault_epochs.get((src, dst), 0)
+                    name = (
+                        f"faults:{src}>{dst}"
+                        if epoch == 0
+                        else f"faults:{src}>{dst}@{epoch}"
+                    )
                     channel = FaultChannel(
-                        plan,
-                        self.simulator.spawn_named_rng(f"faults:{src}>{dst}"),
+                        plan, self.simulator.spawn_named_rng(name)
                     )
                     self._fault_channels[(src, dst)] = channel
             pipeline = DeliveryPipeline(

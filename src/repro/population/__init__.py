@@ -25,6 +25,11 @@ between the netsim core and the experiment data plane:
   population-mix axes into ≥3×3 probability grids through
   ``run_stored``, rendered by :func:`repro.measurement.report.
   landscape_report`.
+* :mod:`repro.population.chaos` — declarative fleet-scale fault
+  orchestration: :class:`ChaosPlan` correlation groups + phased regimes
+  compile purely into per-link fault schedules, and
+  :func:`run_chaos_campaign` drives resumable long-horizon campaigns
+  through the durable run store.
 """
 
 from repro.population.aggregate import FixedBinHistogram, StreamingAggregate
@@ -40,10 +45,37 @@ from repro.population.spec import (
     load_spec,
 )
 
+#: Chaos names are exported lazily: importing them eagerly would make
+#: ``python -m repro.population.chaos`` re-execute the module runpy is
+#: about to run (the double-import RuntimeWarning).
+_CHAOS_EXPORTS = (
+    "CampaignHorizon",
+    "ChaosPhase",
+    "ChaosPlan",
+    "CorrelationGroup",
+    "compile_chaos",
+    "load_chaos_plan",
+    "resume_chaos_campaign",
+    "run_chaos_campaign",
+)
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.population import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "BUILTIN_LINK_PROFILES",
+    "CampaignHorizon",
+    "ChaosPhase",
+    "ChaosPlan",
     "ChurnSpec",
     "ClientManifest",
+    "CorrelationGroup",
     "FaultRegimeSpec",
     "FixedBinHistogram",
     "FleetManifest",
@@ -52,6 +84,10 @@ __all__ = [
     "PopulationSpec",
     "ResolverTopology",
     "StreamingAggregate",
+    "compile_chaos",
     "generate_fleet",
+    "load_chaos_plan",
     "load_spec",
+    "resume_chaos_campaign",
+    "run_chaos_campaign",
 ]

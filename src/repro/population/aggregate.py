@@ -166,7 +166,7 @@ class StreamingAggregate:
     serialises to a JSON document sized by the histogram bin counts.
     """
 
-    __slots__ = ("total", "successes", "by_type", "shift", "minutes")
+    __slots__ = ("total", "successes", "by_type", "shift", "minutes", "faults")
 
     def __init__(self) -> None:
         self.total = 0
@@ -175,6 +175,9 @@ class StreamingAggregate:
         self.by_type: dict[str, list[int]] = {}
         self.shift = FixedBinHistogram(*SHIFT_RANGE)
         self.minutes = FixedBinHistogram(*MINUTES_RANGE)
+        #: Network fault-injection counters (``FaultStats`` field names),
+        #: summed across every link the folded fleets touched.
+        self.faults: dict[str, int] = {}
 
     def fold(
         self,
@@ -194,6 +197,11 @@ class StreamingAggregate:
         if minutes is not None:
             self.minutes.add(float(minutes))
 
+    def fold_faults(self, counters: Mapping[str, Any]) -> None:
+        """Sum a ``FaultStats.to_document()``-shaped counter map in."""
+        for name, value in counters.items():
+            self.faults[name] = self.faults.get(name, 0) + int(value)
+
     def merge(self, other: "StreamingAggregate") -> None:
         self.total += other.total
         self.successes += other.successes
@@ -203,6 +211,7 @@ class StreamingAggregate:
             counters[1] += wins
         self.shift.merge(other.shift)
         self.minutes.merge(other.minutes)
+        self.fold_faults(other.faults)
 
     @property
     def success_rate(self) -> float:
@@ -222,6 +231,9 @@ class StreamingAggregate:
             "shift_quantiles": {
                 label: self.shift.quantile(q)
                 for label, q in (("p10", 0.1), ("p50", 0.5), ("p90", 0.9))
+            },
+            "fault_stats": {
+                name: count for name, count in sorted(self.faults.items())
             },
         }
 
@@ -243,6 +255,7 @@ class StreamingAggregate:
             aggregate.minutes = FixedBinHistogram.from_document(
                 document["minutes_histogram"]
             )
+        aggregate.fold_faults(document.get("fault_stats") or {})
         return aggregate
 
 

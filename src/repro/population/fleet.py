@@ -26,11 +26,19 @@ from __future__ import annotations
 
 from dataclasses import replace
 from functools import lru_cache
-from typing import Any, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.core.run_time import RunTimeAttack, RunTimeScenario
 from repro.netsim.addresses import int_to_ip, ip_to_int
-from repro.netsim.faults import Duplication, GilbertElliott, ReorderJitter
+from repro.netsim.faults import (
+    Corruption,
+    Duplication,
+    FaultStats,
+    GilbertElliott,
+    LatencySpike,
+    Partition,
+    ReorderJitter,
+)
 from repro.netsim.network import Link
 from repro.ntp.clients import CLIENT_REGISTRY
 from repro.population.aggregate import StreamingAggregate
@@ -57,19 +65,43 @@ def spec_from_json(text: str) -> PopulationSpec:
 
 
 def _fault_components(regime: FaultRegimeSpec) -> tuple:
-    if regime.kind == "clean" or regime.probability == 0.0:
+    """Map one regime spec onto netsim fault components (inert ones drop).
+
+    The windowed kinds (``partition``, ``latency_spike``) carry their own
+    schedule and ignore ``probability``; the probabilistic kinds are inert
+    at ``probability == 0``.  Returning ``()`` keeps the link untouched —
+    the compiled fault-free fast paths, bit-identical.
+    """
+    kind = regime.kind
+    if kind == "clean":
         return ()
-    if regime.kind == "bursty_loss":
-        return (
+    if kind == "partition":
+        components: tuple = (Partition(regime.start, regime.duration),)
+    elif kind == "latency_spike":
+        components = (
+            LatencySpike(
+                regime.start, regime.duration, extra=regime.magnitude or 0.25
+            ),
+        )
+    elif regime.probability == 0.0:
+        return ()
+    elif kind == "bursty_loss":
+        components = (
             GilbertElliott(
                 p_enter_bad=regime.probability,
                 p_exit_bad=0.25,
                 loss_bad=regime.magnitude or 0.8,
             ),
         )
-    if regime.kind == "jitter":
-        return (ReorderJitter(regime.probability, max_delay=regime.magnitude or 0.2),)
-    return (Duplication(regime.probability),)
+    elif kind == "jitter":
+        components = (
+            ReorderJitter(regime.probability, max_delay=regime.magnitude or 0.2),
+        )
+    elif kind == "corruption":
+        components = (Corruption(regime.probability),)
+    else:
+        components = (Duplication(regime.probability),)
+    return tuple(c for c in components if c.active)
 
 
 def _attach_client(
@@ -112,14 +144,36 @@ def _attach_client(
 
 
 def run_fleet(
-    spec: PopulationSpec, seed: int, detail_limit: int = 32
+    spec: PopulationSpec,
+    seed: int,
+    detail_limit: int = 32,
+    *,
+    run_until: Optional[float] = None,
+    link_schedules: Optional[Mapping[int, Any]] = None,
+    group_of: Optional[Sequence[str]] = None,
 ) -> dict[str, Any]:
     """Run the run-time attack against every client of a generated fleet.
 
     Returns a JSON-safe document: fleet-level success counts, the
-    streaming aggregate, and simulator accounting.  Per-client detail rows
-    (``clients``) are included only for fleets of at most ``detail_limit``
-    clients, keeping the payload constant-size at population scale.
+    streaming aggregate, network-wide fault counters, and simulator
+    accounting.  Per-client detail rows (``clients``) are included only
+    for fleets of at most ``detail_limit`` clients, keeping the payload
+    constant-size at population scale.
+
+    The keyword hooks are the chaos-campaign wiring
+    (:mod:`repro.population.chaos`):
+
+    * ``run_until`` — absolute simulator-clock cutoff; ``None`` keeps the
+      exact original run length (warmup plus the full attack window),
+      which is what the bit-identity contract pins.
+    * ``link_schedules`` — ``{client index: FaultSchedule}``; each
+      scheduled client's upstream links (resolver plus every pool server)
+      get the schedule applied, composed on top of the client's own
+      spec-level fault regime.  Unscheduled clients are untouched.
+    * ``group_of`` — per-client correlation-group labels; when given the
+      document gains a ``groups`` section with per-group success counts
+      and per-group :class:`~repro.netsim.faults.FaultStats` summed over
+      the group's directed link pairs.
     """
     fleet = generate_fleet(spec, seed)
     scenario_enum = _SCENARIOS[spec.attack]
@@ -138,6 +192,17 @@ def run_fleet(
     for manifest in fleet.clients:
         client = _attach_client(testbed, spec, manifest)
         clients.append(client)
+        schedule = link_schedules.get(manifest.index) if link_schedules else None
+        if schedule is not None:
+            base = _fault_components(
+                spec.fault_regime_table()[manifest.fault_regime]
+            )
+            ip = client.host.ip
+            testbed.network.apply_fault_schedule(ip, RESOLVER_IP, schedule, extra=base)
+            for server_ip in testbed.pool.addresses:
+                testbed.network.apply_fault_schedule(
+                    ip, server_ip, schedule, extra=base
+                )
         if manifest.join_time == 0.0:
             client.start()
         else:
@@ -149,7 +214,10 @@ def run_fleet(
                 manifest.leave_time, client.stop, label="population-leave"
             )
 
-    testbed.run_for(spec.warmup_seconds)
+    warmup = spec.warmup_seconds
+    if run_until is not None:
+        warmup = min(warmup, max(run_until, 0.0))
+    testbed.run_for(warmup)
 
     attacks = [
         RunTimeAttack(
@@ -174,12 +242,19 @@ def run_fleet(
     for attack in attacks:
         attack.start()
     check_interval = attacks[0].check_interval
-    simulator.run_for(3600.0 * spec.max_duration_hours + 2 * check_interval)
+    if run_until is None:
+        simulator.run_for(3600.0 * spec.max_duration_hours + 2 * check_interval)
+    else:
+        remaining = run_until - simulator.now
+        if remaining > 0.0:
+            simulator.run_for(remaining)
 
     aggregate = StreamingAggregate()
     details = []
     include_details = fleet.size <= detail_limit
-    for manifest, attack in zip(fleet.clients, attacks):
+    group_counts: dict[str, list[int]] = {}
+    ip_to_group: dict[str, str] = {}
+    for manifest, client, attack in zip(fleet.clients, clients, attacks):
         if attack._result is None:
             attack._finish(success=False, duration=None)
         result = attack._result
@@ -189,6 +264,13 @@ def run_fleet(
             shift=result.clock_shift_achieved,
             minutes=result.attack_duration_minutes,
         )
+        if group_of is not None:
+            label = group_of[manifest.index]
+            if label:
+                counters = group_counts.setdefault(label, [0, 0])
+                counters[0] += 1
+                counters[1] += int(result.success)
+                ip_to_group[client.host.ip] = label
         if include_details:
             details.append(
                 {
@@ -200,6 +282,10 @@ def run_fleet(
                 }
             )
 
+    network = testbed.network
+    fleet_faults = network.fault_stats()
+    aggregate.fold_faults(fleet_faults.to_document())
+
     document: dict[str, Any] = {
         "scenario": scenario_enum.value,
         "seed": seed,
@@ -210,8 +296,27 @@ def run_fleet(
         "type_counts": fleet.type_counts(),
         "aggregate": aggregate.to_document(),
         "events_processed": simulator.events_processed,
-        "packets_transmitted": testbed.network.packets_transmitted,
+        "packets_transmitted": network.packets_transmitted,
+        "packets_dropped": network.packets_dropped,
+        "fault_stats": fleet_faults.to_document(),
     }
+    if group_counts:
+        group_faults = {label: FaultStats() for label in group_counts}
+        for (src, dst), stats in network.per_pair_fault_stats().items():
+            label = ip_to_group.get(src) or ip_to_group.get(dst)
+            if label in group_faults:
+                group_faults[label].merge(stats)
+        document["groups"] = {
+            label: {
+                "clients": group_counts[label][0],
+                "successes": group_counts[label][1],
+                "success_rate": round(
+                    group_counts[label][1] / group_counts[label][0], 6
+                ),
+                "fault_stats": group_faults[label].to_document(),
+            }
+            for label in sorted(group_counts)
+        }
     if include_details:
         document["clients"] = details
     return document

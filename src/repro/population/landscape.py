@@ -116,8 +116,10 @@ def sweep_landscape(
 
     Every cell's streaming aggregate is appended to the sweep as a
     ``population-aggregate`` record (plus one ``landscape-grid`` summary
-    record), then the sweep is re-stamped complete — so the store, not the
-    return value, is the durable source of the landscape.
+    record), and only then is the sweep stamped complete
+    (``run_stored(finish=False)``) — so a crash while the derived records
+    are being written leaves a resumable ``running`` sweep rather than a
+    ``complete`` one missing its grid.
     """
     from repro.experiments.runner import ExperimentRunner
 
@@ -135,6 +137,7 @@ def sweep_landscape(
             "axis_y": axis_y,
             "y_values": [float(y) for y in y_values],
         },
+        finish=False,
     )
     sweep_id = runner.last_sweep_id
 
@@ -152,6 +155,7 @@ def sweep_landscape(
             cell["successes"] = outcome.result.get("successes")
             cell["size"] = outcome.result.get("size")
             cell["aggregate"] = outcome.result.get("aggregate")
+            cell["fault_stats"] = outcome.result.get("fault_stats")
         else:
             cell["error"] = outcome.error
         cells.append(cell)

@@ -33,7 +33,17 @@ NOISE_ATTRIBUTES = ("poll_interval", "initial_clock_offset", "join_time")
 #: Supported noise distributions.
 NOISE_KINDS = ("uniform", "normal", "lognormal")
 #: Supported fault-regime kinds (mapped onto :mod:`repro.netsim.faults`).
-FAULT_KINDS = ("clean", "bursty_loss", "jitter", "duplication")
+FAULT_KINDS = (
+    "clean",
+    "bursty_loss",
+    "jitter",
+    "duplication",
+    "corruption",
+    "partition",
+    "latency_spike",
+)
+#: Kinds driven by a scheduled window rather than a per-packet probability.
+WINDOWED_FAULT_KINDS = ("partition", "latency_spike")
 
 #: A weighted mix: ``((name, weight), ...)`` in declaration order.
 Mix = tuple[tuple[str, float], ...]
@@ -162,13 +172,24 @@ class FaultRegimeSpec:
     ``probability`` and dropping with ``magnitude`` (default 0.8);
     ``jitter`` becomes reorder jitter with ``probability`` and max extra
     delay ``magnitude`` (default 0.2 s); ``duplication`` duplicates with
-    ``probability``.
+    ``probability``; ``corruption`` flips one payload bit with
+    ``probability`` (caught by the real checksum-verify paths).
+
+    The windowed kinds (:data:`WINDOWED_FAULT_KINDS`) are scheduled, not
+    probabilistic: ``partition`` blackholes the link for ``[start,
+    start + duration)``; ``latency_spike`` adds ``magnitude`` seconds
+    (default 0.25) of extra latency over the same window.  In a fleet
+    spec the window is on the simulator clock; inside a chaos phase
+    (:mod:`repro.population.chaos`) ``start`` is an offset into the phase
+    and ``duration == 0`` means "the rest of the phase".
     """
 
     name: str
     kind: str = "clean"
     probability: float = 0.0
     magnitude: float = 0.0
+    start: float = 0.0
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -181,6 +202,11 @@ class FaultRegimeSpec:
             )
         if self.magnitude < 0:
             raise SpecError(f"fault magnitude must be >= 0, got {self.magnitude}")
+        if self.start < 0 or self.duration < 0:
+            raise SpecError(
+                f"fault window must be >= 0, got start={self.start} "
+                f"duration={self.duration}"
+            )
 
 
 #: Built-in fault regimes usable in ``fault_mix`` without declaring them.
@@ -312,6 +338,8 @@ class PopulationSpec:
                     "kind": r.kind,
                     "probability": r.probability,
                     "magnitude": r.magnitude,
+                    "start": r.start,
+                    "duration": r.duration,
                 }
                 for r in self.fault_regimes
             ],
@@ -398,6 +426,7 @@ __all__ = [
     "BUILTIN_LINK_PROFILES",
     "ChurnSpec",
     "FAULT_KINDS",
+    "WINDOWED_FAULT_KINDS",
     "FaultRegimeSpec",
     "LinkProfileSpec",
     "Mix",
